@@ -1,0 +1,52 @@
+"""Bench: regenerate Figure 4 — Reward vs Computation Time Pareto front.
+
+Paper findings reproduced here (§VI-A):
+
+* the front's fast extreme is solution 2 (RLlib, RK3, 2 nodes, 4 cores);
+* the front's reward extreme is a Stable-Baselines RK8 solution (16);
+* every front member runs PPO ("SAC solutions didn't perform well for
+  these metrics").
+"""
+
+from __future__ import annotations
+
+from repro.core import render_scatter
+from repro.paper import compare_front, figure_front
+
+from .conftest import once
+
+
+def test_bench_fig4(benchmark, table1_report):
+    front = once(benchmark, figure_front, table1_report, "fig4")
+
+    table = table1_report.table
+    mx = table.metrics["computation_time"]
+    my = table.metrics["reward"]
+    print("\n" + render_scatter(
+        table.completed(), mx, my, front_ids=front,
+        title="Figure 4: Reward vs Computation Time",
+    ))
+    comparison = compare_front(table1_report, "fig4")
+    print(comparison.describe())
+
+    trials = {t.trial_id: t for t in table.completed()}
+
+    # the fastest configuration overall is solution 2, and it is on the front
+    fastest = min(trials.values(), key=lambda t: t.objectives["computation_time"])
+    assert fastest.trial_id == 2
+    assert 2 in front
+
+    # the best reward belongs to a Stable Baselines PPO solution, on the front
+    best = max(trials.values(), key=lambda t: t.objectives["reward"])
+    assert best.config["framework"] == "stable"
+    assert best.config["algorithm"] == "ppo"
+    assert best.trial_id in front
+
+    # §VI-A: "all the presented solutions for this trade-off are using PPO"
+    for trial_id in front:
+        assert trials[trial_id].config["algorithm"] == "ppo", (
+            f"solution {trial_id} on the fig4 front runs SAC — paper shape violated"
+        )
+
+    # overlap with the paper's highlighted front {2, 5, 11, 16}
+    assert comparison.recall >= 0.5, comparison.describe()

@@ -1,0 +1,65 @@
+"""Bench: regenerate Figure 5 — Power Consumption vs Computation Time.
+
+Paper findings reproduced (§VI-B):
+
+* solution 11 (TF-Agents, one node, 4 cores) is the least power-consuming
+  solution of the whole campaign (paper: 120 kJ);
+* solution 2 remains the fastest; both sit on the front;
+* "all selected solutions use the PPO algorithm as well as all the 4
+  available CPU cores".
+"""
+
+from __future__ import annotations
+
+from repro.core import render_scatter
+from repro.paper import compare_front, figure_front
+
+from .conftest import once
+
+
+def test_bench_fig5(benchmark, table1_report):
+    front = once(benchmark, figure_front, table1_report, "fig5")
+
+    table = table1_report.table
+    mx = table.metrics["computation_time"]
+    my = table.metrics["power_consumption"]
+    print("\n" + render_scatter(
+        table.completed(), mx, my, front_ids=front,
+        title="Figure 5: Power Consumption vs Computation Time",
+    ))
+    comparison = compare_front(table1_report, "fig5")
+    print(comparison.describe())
+
+    trials = {t.trial_id: t for t in table.completed()}
+
+    # minimum-power solution is 11 and it is on the front
+    cheapest = min(trials.values(), key=lambda t: t.objectives["power_consumption"])
+    assert cheapest.trial_id == 11
+    assert cheapest.config["framework"] == "tfagents"
+    assert 11 in front
+
+    # fastest is on the front too
+    assert 2 in front
+
+    # §VI-B: every front member uses PPO and all 4 cores
+    for trial_id in front:
+        assert trials[trial_id].config["algorithm"] == "ppo"
+        assert trials[trial_id].config["cores_per_node"] == 4
+
+    assert comparison.recall >= 0.5, comparison.describe()
+
+
+def test_bench_fig5_intra_node_beats_distribution(benchmark, table1_report):
+    """§VI-B: 'intra-node parallelism is a more efficient choice than
+    distributing the computation among the nodes' — the one-node TFA
+    solution needs less energy than any two-node solution."""
+
+    def check():
+        trials = {t.trial_id: t for t in table1_report.table.completed()}
+        tfa_energy = trials[11].objectives["power_consumption"]
+        for trial_id, trial in trials.items():
+            if trial.config["n_nodes"] == 2:
+                assert trial.objectives["power_consumption"] > tfa_energy
+        return tfa_energy
+
+    assert once(benchmark, check) > 0

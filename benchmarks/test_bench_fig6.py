@@ -1,0 +1,50 @@
+"""Bench: regenerate Figure 6 — Reward vs Power Consumption Pareto front.
+
+Paper findings reproduced (§VI-C):
+
+* solution 11 anchors the low-power end of the front;
+* the high-reward end is a Stable-Baselines PPO solution (paper: 16, with
+  14 adjacent) — single-node, RK-order-8 territory;
+* SAC solutions never appear on the front.
+"""
+
+from __future__ import annotations
+
+from repro.core import render_scatter
+from repro.paper import compare_front, figure_front
+
+from .conftest import once
+
+
+def test_bench_fig6(benchmark, table1_report):
+    front = once(benchmark, figure_front, table1_report, "fig6")
+
+    table = table1_report.table
+    mx = table.metrics["power_consumption"]
+    my = table.metrics["reward"]
+    print("\n" + render_scatter(
+        table.completed(), mx, my, front_ids=front,
+        title="Figure 6: Reward vs Power Consumption",
+    ))
+    comparison = compare_front(table1_report, "fig6")
+    print(comparison.describe())
+
+    trials = {t.trial_id: t for t in table.completed()}
+
+    # low-power anchor
+    assert 11 in front
+
+    # high-reward anchor is Stable Baselines PPO
+    best = max(trials.values(), key=lambda t: t.objectives["reward"])
+    assert best.config["framework"] == "stable"
+    assert best.trial_id in front
+
+    # no SAC on the front
+    for trial_id in front:
+        assert trials[trial_id].config["algorithm"] == "ppo"
+
+    # all front members are single-node (distribution costs energy)
+    for trial_id in front:
+        assert trials[trial_id].config["n_nodes"] == 1
+
+    assert comparison.recall >= 0.5, comparison.describe()

@@ -1,0 +1,101 @@
+"""Ablation bench: the Runge–Kutta order trade-off (§IV-B, Table I pairs).
+
+"If the Runge-Kutta order is lower, then the computation time will be
+lower but the accuracy of the solution will also be lower." We sweep the
+order at an otherwise fixed configuration (Stable Baselines / PPO /
+1 node / 4 cores) and verify:
+
+* computation time increases monotonically with the order;
+* the cost ratio RK8/RK3 stays mild (stages are only part of a step);
+* trajectory accuracy (against a fine reference integration) improves
+  monotonically with the order;
+* learned reward does not *improve* when dropping from order 8 to 3
+  (averaged over seeds — the paper's accuracy-to-reward chain).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+import repro.airdrop  # noqa: F401
+from repro.airdrop import ParafoilParams, get_integrator, make_rhs
+from repro.airdrop.dynamics import STATE_DIM
+from repro.frameworks import TrainSpec, get_framework
+
+from .conftest import BENCH_STEPS, once
+
+
+def _train(rk_order: int, seed: int, steps: int):
+    fw = get_framework("stable")
+    spec = TrainSpec(
+        algorithm="ppo",
+        n_nodes=1,
+        cores_per_node=4,
+        seed=seed,
+        env_kwargs={"rk_order": rk_order},
+        total_steps=steps,
+    )
+    return fw.train(spec)
+
+
+def test_bench_rk_order_sweep(benchmark, bench_scale):
+    steps = max(2000, BENCH_STEPS // 4)
+    seeds = (0, 1)
+
+    def sweep():
+        out = {}
+        for order in (3, 5, 8):
+            results = [_train(order, seed, steps) for seed in seeds]
+            out[order] = {
+                "time_min": float(np.mean([r.computation_time_min for r in results])),
+                "energy_kj": float(np.mean([r.energy_kj for r in results])),
+                "reward": float(np.mean([r.reward for r in results])),
+            }
+        return out
+
+    table = once(benchmark, sweep)
+    print("\nRK-order ablation (stable/ppo/1n/4c):")
+    for order, row in table.items():
+        print(
+            f"  order {order}: time {row['time_min']:6.1f} min  "
+            f"energy {row['energy_kj']:6.1f} kJ  reward {row['reward']:7.3f}"
+        )
+
+    # §IV-B cost ordering
+    assert table[3]["time_min"] < table[5]["time_min"] < table[8]["time_min"]
+    assert table[3]["energy_kj"] < table[8]["energy_kj"]
+    # stage count is 4x but fixed per-step overheads dominate: mild ratio
+    ratio = table[8]["time_min"] / table[3]["time_min"]
+    assert 1.1 < ratio < 2.2, f"RK8/RK3 time ratio {ratio:.2f} outside the paper's band"
+    # accuracy chain: coarse integration must not *beat* accurate physics
+    assert table[8]["reward"] >= table[3]["reward"] - 0.1
+
+
+def test_bench_rk_trajectory_error(benchmark):
+    """Open-loop accuracy: positional error vs a fine DOP853 reference."""
+    params = ParafoilParams()
+
+    def trajectory_error(order: int) -> float:
+        tab = get_integrator(order)
+        ref_tab = get_integrator(8)
+        y = np.zeros(STATE_DIM)
+        y[2], y[5], y[6] = 600.0, params.v_trim, params.vz_trim
+        y_ref = y.copy()
+        h, substeps = 1.0, 32
+        t = 0.0
+        for k in range(100):
+            u = np.sin(0.15 * k) * 0.9
+            rhs = make_rhs(u, np.zeros(2), params)
+            y = tab.step(rhs, t, y, h)
+            for j in range(substeps):
+                y_ref = ref_tab.step(rhs, t + j * h / substeps, y_ref, h / substeps)
+            t += h
+        return float(np.hypot(y[0] - y_ref[0], y[1] - y_ref[1]))
+
+    errors = once(benchmark, lambda: {order: trajectory_error(order) for order in (3, 5, 8)})
+    print("\nopen-loop positional error vs fine reference (100 s maneuver):")
+    for order, err in errors.items():
+        print(f"  order {order}: {err:10.3f} m")
+    assert errors[3] > errors[5] > errors[8]
+    assert errors[3] > 1.0      # order 3 visibly distorts the trajectory
+    assert errors[8] < 0.01     # order 8 is essentially exact at this step

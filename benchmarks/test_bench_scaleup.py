@@ -1,0 +1,119 @@
+"""Extension bench: scaling beyond the paper's two nodes (§VII future work).
+
+The paper plans to "scale up the experiments, potentially using a
+large-scale distributed testbed such as Grid'5000". We project that study
+on the simulated substrate: the RLlib-like back-end on homogeneous
+clusters of 1–4 nodes, measuring the speed-up curve, the energy bill and
+the reward trend as the actor fleet grows.
+
+Expected shape (an extrapolation of the paper's 1-vs-2-node findings):
+
+* computation time falls with node count but sub-linearly (the learner
+  and the link serialize);
+* energy rises with node count (idle floors multiply);
+* reward degrades as more remote actors act on stale weights.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+import repro.airdrop  # noqa: F401
+from repro.cluster import grid_cluster
+from repro.frameworks import RLlibLike, TrainSpec
+
+from .conftest import BENCH_STEPS, once
+
+
+def test_bench_node_scaling_curve(benchmark):
+    steps = max(4000, BENCH_STEPS // 2)
+    node_counts = (1, 2, 3, 4)
+    seeds = (0, 1)
+
+    def sweep():
+        rows = {}
+        for n_nodes in node_counts:
+            cluster = grid_cluster(4, cores_per_node=4)
+            results = []
+            for seed in seeds:
+                fw = RLlibLike(cluster=cluster)
+                spec = TrainSpec(
+                    algorithm="ppo",
+                    n_nodes=n_nodes,
+                    cores_per_node=4,
+                    seed=seed,
+                    env_kwargs={"rk_order": 5},
+                    total_steps=steps,
+                )
+                results.append(fw.train(spec))
+            rows[n_nodes] = {
+                "time_min": float(np.mean([r.computation_time_min for r in results])),
+                "energy_kj": float(np.mean([r.energy_kj for r in results])),
+                "reward": float(np.mean([r.reward for r in results])),
+            }
+        return rows
+
+    rows = once(benchmark, sweep)
+    base = rows[1]["time_min"]
+    print("\nnode-scaling projection (rllib/ppo/rk5/4c per node):")
+    for n, row in rows.items():
+        print(
+            f"  {n} node(s): time {row['time_min']:6.1f} min "
+            f"(speedup {base / row['time_min']:4.2f}x)  "
+            f"energy {row['energy_kj']:6.1f} kJ  reward {row['reward']:7.3f}"
+        )
+
+    times = [rows[n]["time_min"] for n in node_counts]
+    energies = [rows[n]["energy_kj"] for n in node_counts]
+
+    # time falls monotonically with nodes...
+    assert all(t2 < t1 for t1, t2 in zip(times, times[1:]))
+    # ...but sub-linearly: 4 nodes achieve < 3x speedup
+    assert base / times[-1] < 3.0
+    # energy grows monotonically past 2 nodes (idle floors multiply)
+    assert energies[-1] > energies[1]
+    # the single-node reward is not beaten by the most distributed setup
+    assert rows[1]["reward"] >= rows[4]["reward"] - 0.15
+
+
+def test_bench_bandwidth_grows_with_nodes(benchmark):
+    steps = max(2000, BENCH_STEPS // 8)
+
+    def sweep():
+        out = {}
+        for n_nodes in (2, 4):
+            fw = RLlibLike(cluster=grid_cluster(4, cores_per_node=4))
+            spec = TrainSpec(
+                algorithm="ppo", n_nodes=n_nodes, cores_per_node=4, seed=0,
+                env_kwargs={"rk_order": 3}, total_steps=steps,
+            )
+            result = fw.train(spec)
+            out[n_nodes] = result.diagnostics["bytes_transferred"]
+        return out
+
+    transferred = once(benchmark, sweep)
+    print(f"\nbytes over the interconnect: {transferred}")
+    # more remote nodes ship more experience
+    assert transferred[4] > transferred[2] > 0
+
+
+def test_bench_faster_cores_shift_tradeoffs(benchmark):
+    """Heterogeneity probe: doubling core speed must roughly halve the
+    virtual time at unchanged learning results."""
+    steps = max(2000, BENCH_STEPS // 8)
+
+    def run(speed: float):
+        fw = RLlibLike(cluster=grid_cluster(2, cores_per_node=4, core_speed=speed))
+        spec = TrainSpec(
+            algorithm="ppo", n_nodes=1, cores_per_node=4, seed=0,
+            env_kwargs={"rk_order": 5}, total_steps=steps,
+        )
+        return fw.train(spec)
+
+    result = once(benchmark, lambda: {"1x": run(1.0), "2x": run(2.0)})
+    t1, t2 = result["1x"].computation_time_s, result["2x"].computation_time_s
+    print(f"\ncore speed 1x: {t1 / 60:.1f} min; 2x: {t2 / 60:.1f} min")
+    assert t2 == pytest.approx(t1 / 2.0, rel=0.05)
+    assert result["1x"].reward == result["2x"].reward  # learning unchanged
+

@@ -1,0 +1,141 @@
+"""µ-benchmarks of every substrate (engineering hygiene, not in the paper).
+
+These quantify the host-side cost of the building blocks so regressions in
+the hot paths (integrator stages, network passes, event engine, Pareto
+sorting) show up in CI timelines.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+import repro.airdrop  # noqa: F401
+from repro.airdrop import AirdropEnv, ParafoilParams, get_integrator, make_rhs
+from repro.airdrop.dynamics import STATE_DIM
+from repro.cluster import ClusterSimulator, paper_testbed
+from repro.core import non_dominated_mask, pareto_fronts
+from repro.rl import MLP, Adam, PPOAgent, SACAgent, SACConfig
+
+
+@pytest.mark.parametrize("order", [3, 5, 8])
+def test_bench_integrator_step(benchmark, order):
+    params = ParafoilParams()
+    tab = get_integrator(order)
+    rhs = make_rhs(0.5, np.zeros(2), params)
+    y = np.zeros(STATE_DIM)
+    y[2], y[5], y[6] = 500.0, 10.0, 5.0
+
+    result = benchmark(lambda: tab.step(rhs, 0.0, y, 1.0))
+    assert np.all(np.isfinite(result))
+
+
+def test_bench_env_step(benchmark):
+    env = AirdropEnv(rk_order=5)
+    env.reset(seed=0)
+    action = np.array([0.3])
+
+    def step():
+        obs, _, term, trunc, _ = env.step(action)
+        if term or trunc:
+            env.reset()
+        return obs
+
+    obs = benchmark(step)
+    assert obs.shape == (13,)
+
+
+def test_bench_env_full_episode(benchmark):
+    env = AirdropEnv(rk_order=5, altitude_limits=(200.0, 200.0))
+
+    def episode():
+        env.reset(seed=1)
+        steps = 0
+        while True:
+            _, _, term, trunc, _ = env.step(np.array([0.2]))
+            steps += 1
+            if term or trunc:
+                return steps
+
+    steps = benchmark(episode)
+    assert steps > 10
+
+
+def test_bench_mlp_forward_backward(benchmark):
+    rng = np.random.default_rng(0)
+    net = MLP((13, 64, 64, 1), rng)
+    x = rng.standard_normal((256, 13))
+
+    def fwd_bwd():
+        y = net.forward(x)
+        net.zero_grad()
+        net.backward(np.ones_like(y))
+        return y
+
+    y = benchmark(fwd_bwd)
+    assert y.shape == (256, 1)
+
+
+def test_bench_adam_step(benchmark):
+    rng = np.random.default_rng(0)
+    net = MLP((13, 64, 64, 1), rng)
+    opt = Adam(net.parameters(), lr=3e-4)
+    for p in net.parameters():
+        p.grad += 0.01
+
+    benchmark(opt.step)
+
+
+def test_bench_ppo_update(benchmark):
+    agent = PPOAgent(13, 1, seed=0)
+    buf = agent.make_buffer(256, 4)
+    rng = np.random.default_rng(0)
+    obs = rng.standard_normal((4, 13))
+    for _ in range(256):
+        out = agent.act(obs)
+        buf.add(
+            obs, out["action"], out["log_prob"], rng.standard_normal(4),
+            out["value"], np.zeros(4), np.zeros(4), np.zeros(4),
+        )
+    buf.finish(agent.value(obs))
+
+    benchmark(lambda: agent.update(buf))
+
+
+def test_bench_sac_update(benchmark):
+    agent = SACAgent(13, 1, SACConfig(learning_starts=0, batch_size=128), seed=0)
+    rng = np.random.default_rng(0)
+    for _ in range(1000):
+        agent.observe(
+            rng.standard_normal(13), rng.uniform(-1, 1, 1), rng.standard_normal(),
+            rng.standard_normal(13), False,
+        )
+
+    benchmark(agent.update)
+
+
+def test_bench_event_engine_throughput(benchmark):
+    """Schedule-and-run 2000 dependent tasks across the 2-node testbed."""
+
+    def run():
+        sim = ClusterSimulator(paper_testbed(2))
+        prev = None
+        for i in range(2000):
+            deps = [prev] if prev is not None and i % 7 == 0 else []
+            prev = sim.task(f"t{i}", i % 2, duration=0.01, cores=1 + i % 2, deps=deps)
+        return sim.run().makespan
+
+    makespan = benchmark(run)
+    assert makespan > 0
+
+
+def test_bench_pareto_sort_1000(benchmark, rng):
+    pts = rng.standard_normal((1000, 3))
+    mask = benchmark(lambda: non_dominated_mask(pts, ["min", "min", "min"]))
+    assert mask.any()
+
+
+def test_bench_full_front_partition_500(benchmark, rng):
+    pts = rng.standard_normal((500, 2))
+    fronts = benchmark(lambda: pareto_fronts(pts, ["min", "min"]))
+    assert sum(len(f) for f in fronts) == 500

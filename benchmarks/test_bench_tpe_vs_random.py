@@ -1,0 +1,168 @@
+"""Bench: the §III-C implementation alternative — TPE + pruning vs the
+paper's Random Search.
+
+The paper suggests implementing the methodology with a hyperparameter-
+optimization framework (Optuna / Hyperopt): model-based sampling plus
+pruning of unpromising trials. This bench quantifies both claims on
+deterministic surrogates of the campaign objective (so the comparison is
+about the *explorers*, not training noise):
+
+* on the continuous axis (learning-rate tuning) TPE reaches a far better
+  best objective than Random Search at an equal trial budget;
+* on the full mixed space the comparison is reported (TPE's categorical
+  lock-in at small budgets is a known weakness — we print both numbers);
+* the median pruner cuts a large share of simulated training steps while
+  keeping the best configuration.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core import (
+    Campaign,
+    Categorical,
+    Explorer,
+    Float,
+    MedianPruner,
+    Metric,
+    MetricSet,
+    ParameterSpace,
+    RandomSearch,
+    SortedTableRanking,
+    TPESampler,
+)
+
+from .conftest import once
+
+
+def continuous_space() -> ParameterSpace:
+    return ParameterSpace([Float("lr", 1e-5, 1e-1, log=True)])
+
+
+def mixed_space() -> ParameterSpace:
+    return ParameterSpace(
+        [
+            Float("lr", 1e-5, 1e-1, log=True),
+            Categorical("rk_order", [3, 5, 8]),
+            Categorical("cores", [2, 4]),
+        ]
+    )
+
+
+def surrogate_loss(values) -> float:
+    """Smooth deterministic stand-in for (negated) campaign reward."""
+    loss = (np.log10(values["lr"]) + 3.0) ** 2  # optimum at 1e-3
+    if "rk_order" in values:
+        loss += {3: 0.15, 5: 0.05, 8: 0.0}[values["rk_order"]]
+    if "cores" in values:
+        loss += 0.0 if values["cores"] == 4 else 0.05
+    return float(loss)
+
+
+class SurrogateCaseStudy:
+    """Emits a 5-checkpoint learning curve so pruners can act."""
+
+    def __init__(self):
+        self.total_steps_executed = 0
+
+    def evaluate(self, config, seed, progress=None):
+        loss = surrogate_loss(config)
+        checkpoints = 5
+        for step in range(1, checkpoints + 1):
+            self.total_steps_executed += 1
+            value = -loss * (2.0 - step / checkpoints)  # improves over time
+            if progress is not None and progress(step, value):
+                return {"loss": loss}
+        return {"loss": loss}
+
+
+def best_loss_with(space_factory, explorer_factory, seeds, n_trials) -> float:
+    bests = []
+    for seed in seeds:
+        space = space_factory()
+        campaign = Campaign(
+            SurrogateCaseStudy(),
+            space,
+            explorer_factory(space, seed, n_trials),
+            MetricSet([Metric(name="loss", direction="min")]),
+            rankers=[SortedTableRanking("loss")],
+        )
+        report = campaign.run()
+        bests.append(report.table.best("loss").objectives["loss"])
+    return float(np.mean(bests))
+
+
+def _random(space: ParameterSpace, seed: int, n: int) -> Explorer:
+    return RandomSearch(space, n, seed=seed, dedupe=False)
+
+
+def _tpe(space: ParameterSpace, seed: int, n: int) -> Explorer:
+    return TPESampler(space, n, seed=seed, n_startup=8)
+
+
+def test_bench_tpe_beats_random_continuous(benchmark):
+    seeds = range(8)
+    n_trials = 40
+
+    def compare():
+        return {
+            "random": best_loss_with(continuous_space, _random, seeds, n_trials),
+            "tpe": best_loss_with(continuous_space, _tpe, seeds, n_trials),
+        }
+
+    result = once(benchmark, compare)
+    print(f"\ncontinuous lr tuning, mean best loss over 8 seeds x {n_trials} trials:")
+    print(f"  random search: {result['random']:.6f}")
+    print(f"  tpe          : {result['tpe']:.6f}")
+    # model-based refinement is decisively better on the continuous axis
+    assert result["tpe"] < result["random"] * 0.5
+
+
+def test_bench_tpe_vs_random_mixed(benchmark):
+    seeds = range(8)
+    n_trials = 40
+
+    def compare():
+        return {
+            "random": best_loss_with(mixed_space, _random, seeds, n_trials),
+            "tpe": best_loss_with(mixed_space, _tpe, seeds, n_trials),
+        }
+
+    result = once(benchmark, compare)
+    print(f"\nmixed space, mean best loss over 8 seeds x {n_trials} trials:")
+    print(f"  random search: {result['random']:.4f}")
+    print(f"  tpe          : {result['tpe']:.4f}")
+    # reported, not strictly asserted: categorical lock-in can cost TPE a
+    # constant offset at this budget; it must stay in the same ballpark.
+    assert result["tpe"] < result["random"] + 0.5
+
+
+def test_bench_median_pruner_saves_steps(benchmark):
+    def run(with_pruner: bool):
+        space = mixed_space()
+        study = SurrogateCaseStudy()
+        campaign = Campaign(
+            study,
+            space,
+            RandomSearch(space, 30, seed=0, dedupe=False),
+            MetricSet([Metric(name="loss", direction="min")]),
+            rankers=[SortedTableRanking("loss")],
+            pruner=MedianPruner(n_startup_trials=5) if with_pruner else None,
+        )
+        report = campaign.run()
+        best = report.table.best("loss").objectives["loss"]
+        return study.total_steps_executed, best
+
+    result = once(
+        benchmark,
+        lambda: {"full": run(False), "pruned": run(True)},
+    )
+    full_steps, full_best = result["full"]
+    pruned_steps, pruned_best = result["pruned"]
+    saved = 1.0 - pruned_steps / full_steps
+    print(f"\nsimulated steps without pruning: {full_steps} (best {full_best:.4f})")
+    print(f"simulated steps with pruning   : {pruned_steps} (best {pruned_best:.4f})")
+    print(f"steps saved: {saved:.0%}")
+    assert pruned_steps < full_steps
+    assert pruned_best <= full_best * 1.5 + 1e-9  # quality essentially preserved

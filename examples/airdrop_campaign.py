@@ -1,0 +1,81 @@
+#!/usr/bin/env python3
+"""Full reproduction of the paper's experimental campaign (§V–VI).
+
+Replays the 18 Table-I configurations on the simulated two-node testbed,
+prints the regenerated Table I, the three Pareto fronts (Figures 4–6) as
+ASCII scatter plots, and the overlap with the fronts the paper highlights.
+
+    python examples/airdrop_campaign.py                 # scaled (~9 min)
+    python examples/airdrop_campaign.py --steps 4000    # quick look (~2 min)
+    python examples/airdrop_campaign.py --steps 200000  # the paper's budget
+    python examples/airdrop_campaign.py --explorer random --trials 18
+"""
+
+from __future__ import annotations
+
+import argparse
+import time
+
+import repro.airdrop  # noqa: F401
+from repro.core import RandomSearch
+from repro.paper import (
+    Scale,
+    Table1Explorer,
+    airdrop_parameter_space,
+    compare_all,
+    table1_campaign,
+)
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--steps", type=int, default=20_000,
+                        help="real training steps per configuration (default 20000)")
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--explorer", choices=["table1", "random"], default="table1",
+        help="replay the paper's 18 rows, or draw fresh Random Search samples",
+    )
+    parser.add_argument("--trials", type=int, default=18,
+                        help="trial count for --explorer random")
+    args = parser.parse_args()
+
+    space = airdrop_parameter_space()
+    explorer = (
+        Table1Explorer(space)
+        if args.explorer == "table1"
+        else RandomSearch(space, n_trials=args.trials, seed=args.seed)
+    )
+    campaign = table1_campaign(
+        seed=args.seed, scale=Scale(real_steps=args.steps), explorer=explorer
+    )
+
+    t0 = time.time()
+
+    def progress(trial, n):
+        objs = trial.objectives
+        if trial.ok:
+            print(
+                f"  [{n:2d}] {trial.config.describe():90s} "
+                f"reward {objs['reward']:7.3f}  "
+                f"time {objs['computation_time'] / 60:6.1f} min  "
+                f"energy {objs['power_consumption']:6.0f} kJ   "
+                f"({time.time() - t0:5.0f} s host)"
+            )
+        else:
+            print(f"  [{n:2d}] {trial.config.describe():90s} {trial.status.upper()}")
+
+    print(f"running {args.explorer} campaign, {args.steps} real steps per trial...")
+    report = campaign.run(progress=progress)
+
+    print()
+    print(report.render())
+    print()
+    if args.explorer == "table1":
+        print("overlap with the paper's highlighted fronts:")
+        for comparison in compare_all(report):
+            print(" ", comparison.describe())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,81 @@
+#!/usr/bin/env python3
+"""The §III-C implementation alternative: an Optuna-style study.
+
+Tunes PPO hyperparameters (learning rate, clip range, epochs) for the
+airdrop task with the built-in TPE sampler and median pruning — the
+"hyperparameter optimization framework" route the paper sketches as an
+alternative implementation of the methodology.
+
+    python examples/hpo_study.py               # ~2 min
+    python examples/hpo_study.py --trials 20
+"""
+
+from __future__ import annotations
+
+import argparse
+
+import numpy as np
+
+import repro.airdrop  # noqa: F401
+from repro.core import MedianPruner, Study, TrialPruned
+from repro.frameworks import TrainSpec, get_framework
+from repro.rl import PPOConfig
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--trials", type=int, default=12)
+    parser.add_argument("--steps", type=int, default=4000)
+    parser.add_argument("--seed", type=int, default=0)
+    args = parser.parse_args()
+
+    def objective(trial) -> float:
+        lr = trial.suggest_float("learning_rate", 1e-5, 1e-2, log=True)
+        clip = trial.suggest_float("clip_range", 0.05, 0.4)
+        epochs = trial.suggest_int("n_epochs", 3, 15)
+
+        framework = get_framework("stable")
+        spec = TrainSpec(
+            algorithm="ppo",
+            n_nodes=1,
+            cores_per_node=4,
+            seed=args.seed,
+            env_kwargs={"rk_order": 5},
+            total_steps=args.steps,
+            ppo=PPOConfig(learning_rate=lr, clip_range=clip, n_epochs=epochs),
+        )
+
+        pruned = {"flag": False}
+
+        def callback(steps: int, reward: float) -> bool:
+            trial.report(reward, steps)
+            if trial.should_prune(steps):
+                pruned["flag"] = True
+                return True
+            return False
+
+        result = framework.train(spec, callback=callback)
+        if pruned["flag"]:
+            raise TrialPruned
+        return result.reward  # maximize landing score
+
+    study = Study(
+        direction="maximize",
+        sampler="tpe",
+        seed=args.seed,
+        pruner=MedianPruner(n_startup_trials=3, n_warmup_steps=args.steps // 4),
+    )
+    study.optimize(objective, n_trials=args.trials)
+
+    print(f"\n{len(study.trials)} trials "
+          f"({sum(t.state == 'pruned' for t in study.trials)} pruned, "
+          f"{sum(t.state == 'failed' for t in study.trials)} failed)")
+    for t in study.trials:
+        value = "--" if t.value is None else f"{t.value:7.3f}"
+        print(f"  trial {t.number:2d} [{t.state:8s}] reward {value}  {t.params}")
+    best = study.best_trial
+    print(f"\nbest: reward {best.value:.3f} with {best.params}")
+
+
+if __name__ == "__main__":
+    main()

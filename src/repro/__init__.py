@@ -1,0 +1,29 @@
+"""repro — decision analysis tools for distributed reinforcement learning.
+
+A full reproduction of Prigent, Cudennec, Costan & Antoniu, *A Methodology
+to Build Decision Analysis Tools Applied to Distributed Reinforcement
+Learning* (ScaDL/IPDPS 2022), built from scratch on numpy:
+
+* :mod:`repro.envs` — gym-style environment substrate;
+* :mod:`repro.airdrop` — the airdrop package delivery simulator (parafoil
+  dynamics, RK order 3/5/8 integrators, wind/gusts);
+* :mod:`repro.rl` — PPO and SAC with a hand-rolled MLP/autodiff stack;
+* :mod:`repro.cluster` — discrete-event cluster simulator with a CPU power
+  model (the paper's 2-node testbed);
+* :mod:`repro.frameworks` — RLlib-like / Stable-Baselines-like /
+  TF-Agents-like execution back-ends;
+* :mod:`repro.core` — the methodology itself: parameter spaces,
+  exploratory methods, evaluation metrics, Pareto-front ranking, campaign
+  orchestration;
+* :mod:`repro.paper` — the Table I / Figures 4–6 experiment definitions.
+
+Quickstart::
+
+    from repro.paper import table1_campaign
+    report = table1_campaign(seed=0).run()
+    print(report.render())
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["__version__"]

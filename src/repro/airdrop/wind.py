@@ -1,0 +1,101 @@
+"""Wind and gust model for the airdrop simulator.
+
+The paper's environment exposes four environment parameters (§IV-B):
+activation of the wind, activation of gusts of wind, the gust occurrence
+probability, and the drop-altitude limits. This module implements the
+first three.
+
+The wind felt by the canopy is ``mean + gust`` where:
+
+* ``mean`` is a constant horizontal wind vector (zero when wind is
+  disabled — the configuration used in the paper's evaluation §V-a);
+* ``gust`` is a stochastic impulse process: at every control step a gust
+  fires with probability ``gust_probability``, adding a random horizontal
+  impulse which then decays exponentially with time constant
+  ``gust_decay_s``.
+
+Gust randomness is sampled once per control step from the environment RNG,
+so the ODE right-hand side stays deterministic within an integration
+interval — a requirement for the Runge–Kutta error analysis to be
+meaningful.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["WindConfig", "WindModel"]
+
+
+@dataclass(frozen=True)
+class WindConfig:
+    """Static wind/gust configuration (the paper's environment knobs)."""
+
+    enable_wind: bool = False
+    wind_speed: float = 3.0            # m/s, magnitude of the mean wind
+    wind_direction_deg: float = 90.0   # blowing-toward direction, degrees from +x
+    enable_gusts: bool = False
+    gust_probability: float = 0.05     # per control step
+    gust_strength: float = 4.0         # m/s impulse magnitude scale
+    gust_decay_s: float = 3.0          # exponential decay time constant
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.gust_probability <= 1.0:
+            raise ValueError("gust_probability must be in [0, 1]")
+        if self.wind_speed < 0 or self.gust_strength < 0 or self.gust_decay_s <= 0:
+            raise ValueError("wind magnitudes must be non-negative, decay positive")
+
+    @property
+    def mean_wind(self) -> np.ndarray:
+        """The constant horizontal wind vector (zero when wind disabled)."""
+        if not self.enable_wind:
+            return np.zeros(2)
+        angle = np.deg2rad(self.wind_direction_deg)
+        return self.wind_speed * np.array([np.cos(angle), np.sin(angle)])
+
+
+@dataclass
+class WindModel:
+    """Stateful wind process; one instance per environment episode.
+
+    Call :meth:`update` exactly once per control step *before* integrating
+    the dynamics over that step; :meth:`current` then returns the wind
+    vector that is constant over the step.
+    """
+
+    config: WindConfig = field(default_factory=WindConfig)
+    _gust: np.ndarray = field(default_factory=lambda: np.zeros(2))
+    #: number of gust impulses fired so far (exposed for diagnostics)
+    gust_count: int = 0
+
+    def reset(self) -> None:
+        """Clear gust state at episode start."""
+        self._gust = np.zeros(2)
+        self.gust_count = 0
+
+    def update(self, rng: np.random.Generator, dt: float) -> np.ndarray:
+        """Advance the gust process by one control step of duration ``dt``.
+
+        Returns the wind vector to apply over the coming step.
+        """
+        if dt <= 0:
+            raise ValueError("dt must be positive")
+        cfg = self.config
+        self._gust = self._gust * np.exp(-dt / cfg.gust_decay_s)
+        if cfg.enable_gusts and rng.random() < cfg.gust_probability:
+            angle = rng.uniform(0.0, 2.0 * np.pi)
+            magnitude = rng.exponential(cfg.gust_strength)
+            self._gust = self._gust + magnitude * np.array([np.cos(angle), np.sin(angle)])
+            self.gust_count += 1
+        return self.current()
+
+    def current(self) -> np.ndarray:
+        """Wind vector (mean + gust) held constant over the current step."""
+        return self.config.mean_wind + self._gust
+
+    @property
+    def gust(self) -> np.ndarray:
+        """The decaying gust component alone."""
+        return self._gust.copy()

@@ -1,0 +1,12 @@
+"""Classic-control environments built on the shared RK substrate."""
+
+from ..envs import register, registry
+from .cartpole import CartPoleEnv
+from .pendulum import PendulumEnv
+
+__all__ = ["CartPoleEnv", "PendulumEnv"]
+
+if "CartPole-v0" not in registry:
+    register("CartPole-v0", CartPoleEnv, max_episode_steps=500)
+if "Pendulum-v0" not in registry:
+    register("Pendulum-v0", PendulumEnv, max_episode_steps=200)

@@ -1,0 +1,216 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+
+``campaign``
+    Run a decision-analysis campaign over the airdrop case study (the
+    paper's Table I replay, or fresh Random Search / Latin hypercube /
+    TPE samples) and print the decision report; optionally archive it as
+    JSON.
+
+``analyze``
+    Load an archived report, re-rank it and print the table, fronts and
+    the per-parameter effect/importance analysis.
+
+``episode``
+    Fly a single episode of the airdrop simulator with the built-in
+    proportional steering controller (or random actions) and print the
+    touchdown summary — a sanity probe for environment configurations.
+
+``calibration``
+    Print the closed-form calibration predictions against the paper's
+    timing anchors.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+import numpy as np
+
+import repro.airdrop  # noqa: F401  (registers Airdrop-v0)
+from repro.airdrop import AirdropEnv
+from repro.core import (
+    LatinHypercube,
+    RandomSearch,
+    TPESampler,
+    dump_report,
+    load_table,
+    parameter_effects,
+    parameter_importance,
+    rank_loaded,
+    render_table,
+)
+from repro.paper import (
+    PAPER_ANCHORS,
+    Scale,
+    Table1Explorer,
+    airdrop_parameter_space,
+    compare_all,
+    paper_rankers,
+    predict_anchor_minutes,
+    table1_campaign,
+)
+
+__all__ = ["main"]
+
+
+def _add_campaign_parser(subparsers) -> None:
+    p = subparsers.add_parser("campaign", help="run a decision-analysis campaign")
+    p.add_argument("--steps", type=int, default=20_000, help="real steps per trial")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument(
+        "--explorer",
+        choices=["table1", "random", "lhs", "tpe"],
+        default="table1",
+    )
+    p.add_argument("--trials", type=int, default=18, help="budget for non-table1 explorers")
+    p.add_argument("--output", type=str, default=None, help="archive the report as JSON")
+    p.add_argument("--no-plots", action="store_true")
+
+
+def _add_analyze_parser(subparsers) -> None:
+    p = subparsers.add_parser("analyze", help="inspect an archived report")
+    p.add_argument("report", type=str, help="JSON file written by 'campaign --output'")
+    p.add_argument("--metric", type=str, default="reward")
+
+
+def _add_episode_parser(subparsers) -> None:
+    p = subparsers.add_parser("episode", help="fly one simulator episode")
+    p.add_argument("--rk-order", type=int, default=5, choices=[3, 5, 8])
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--policy", choices=["controller", "random"], default="controller")
+    p.add_argument("--wind", action="store_true")
+    p.add_argument("--gusts", action="store_true")
+    p.add_argument("--altitude", type=float, default=None)
+
+
+def _add_calibration_parser(subparsers) -> None:
+    subparsers.add_parser("calibration", help="print calibration vs paper anchors")
+
+
+def _make_explorer(args):
+    space = airdrop_parameter_space()
+    if args.explorer == "table1":
+        return Table1Explorer(space)
+    if args.explorer == "random":
+        return RandomSearch(space, n_trials=args.trials, seed=args.seed)
+    if args.explorer == "lhs":
+        return LatinHypercube(space, n_trials=args.trials, seed=args.seed)
+    return TPESampler(
+        space,
+        n_trials=args.trials,
+        seed=args.seed,
+        scalarize=lambda objs: -objs["reward"],
+    )
+
+
+def _cmd_campaign(args) -> int:
+    campaign = table1_campaign(
+        seed=args.seed, scale=Scale(real_steps=args.steps), explorer=_make_explorer(args)
+    )
+
+    def progress(trial, n):
+        print(f"  [{n:2d}] {trial.config.describe()} -> {trial.status}", flush=True)
+
+    report = campaign.run(progress=progress)
+    print()
+    print(report.render(plots=not args.no_plots))
+    if args.explorer == "table1":
+        print()
+        for comparison in compare_all(report):
+            print(comparison.describe())
+    if args.output:
+        dump_report(report, args.output)
+        print(f"\nreport archived to {args.output}")
+    return 0
+
+
+def _cmd_analyze(args) -> int:
+    table = load_table(args.report)
+    report = rank_loaded(table, paper_rankers() if "reward" in table.metrics else [])
+    print(render_table(table, title=f"Archived campaign ({len(table)} trials)"))
+    if report.rankings:
+        print("\nfronts:", report.fronts())
+    metric = args.metric
+    if metric not in table.metrics:
+        print(f"\nmetric {metric!r} not in this report; available: {table.metrics.names}")
+        return 1
+    print(f"\nparameter importance for {metric!r}:")
+    for name, share in sorted(
+        parameter_importance(table, metric).items(), key=lambda kv: -kv[1]
+    ):
+        print(f"  {name:>16}: {share:6.1%}")
+    for name in sorted({k for t in table.completed() for k in t.config}):
+        print()
+        print(parameter_effects(table, name, metric).render())
+    return 0
+
+
+def _cmd_episode(args) -> int:
+    kwargs = dict(rk_order=args.rk_order, wind=args.wind, gusts=args.gusts)
+    env = AirdropEnv(**kwargs)
+    options = {"altitude": args.altitude} if args.altitude else None
+    obs, info = env.reset(seed=args.seed, options=options)
+    rng = np.random.default_rng(args.seed)
+    print(
+        f"drop: altitude {info['drop_altitude']:.0f} m, "
+        f"offset {info['drop_radius']:.0f} m, RK order {args.rk_order}"
+    )
+    steps = 0
+    while True:
+        if args.policy == "controller":
+            action = np.array([np.clip(2.0 * obs[10], -1.0, 1.0)])
+        else:
+            action = rng.uniform(-1.0, 1.0, 1)
+        obs, reward, term, trunc, info = env.step(action)
+        steps += 1
+        if term or trunc:
+            break
+    if "landing_score" in info:
+        x, y = info["touchdown"]
+        print(
+            f"touchdown after {steps} steps at ({x:+.1f}, {y:+.1f}) m — "
+            f"miss {info['miss_distance']:.1f} m, landing score {info['landing_score']:.3f}"
+        )
+    else:
+        print(f"episode truncated after {steps} steps")
+    return 0
+
+
+def _cmd_calibration(args) -> int:
+    print("closed-form calibration vs the paper's timing anchors:")
+    print(f"{'sol':>4} {'configuration':<28} {'paper':>8} {'predicted':>10} {'error':>7}")
+    for solution, (fw, rk, nodes, cores, minutes, kj) in sorted(PAPER_ANCHORS.items()):
+        predicted = predict_anchor_minutes(solution)
+        err = (predicted - minutes) / minutes
+        config = f"{fw}/ppo/rk{rk}/{nodes}n x {cores}c"
+        print(f"{solution:>4} {config:<28} {minutes:>6.0f} m {predicted:>8.1f} m {err:>6.1%}")
+    return 0
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="decision analysis tools for distributed reinforcement learning",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+    _add_campaign_parser(subparsers)
+    _add_analyze_parser(subparsers)
+    _add_episode_parser(subparsers)
+    _add_calibration_parser(subparsers)
+    args = parser.parse_args(argv)
+    handler = {
+        "campaign": _cmd_campaign,
+        "analyze": _cmd_analyze,
+        "episode": _cmd_episode,
+        "calibration": _cmd_calibration,
+    }[args.command]
+    return handler(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,22 @@
+"""Simulated cluster substrate: topology, discrete-event engine, power model."""
+
+from .power import CPUPowerModel, EnergyReport, energy_from_trace
+from .simulator import ClusterSimulator, Task
+from .topology import ClusterSpec, LinkSpec, NodeSpec, grid_cluster, paper_testbed
+from .trace import TaskSpan, Trace, TransferSpan
+
+__all__ = [
+    "NodeSpec",
+    "LinkSpec",
+    "ClusterSpec",
+    "paper_testbed",
+    "grid_cluster",
+    "ClusterSimulator",
+    "Task",
+    "Trace",
+    "TaskSpan",
+    "TransferSpan",
+    "CPUPowerModel",
+    "EnergyReport",
+    "energy_from_trace",
+]

@@ -1,0 +1,238 @@
+"""Discrete-event cluster simulator.
+
+The simulator executes a DAG of *compute tasks* (which occupy cores on a
+node for a duration) and *network transfers* (which occupy a directed link
+between two nodes). Scheduling is event-driven over a time-ordered heap:
+
+* a task becomes *ready* when all its dependencies have finished;
+* a ready compute task starts as soon as its node has enough free cores
+  (FIFO among ready tasks per node);
+* a ready transfer starts as soon as its directed link is free (links are
+  serial FIFO queues — the 1 Gbps switch of the paper's testbed serializes
+  messages between a node pair).
+
+The framework back-ends translate a real (scaled-down) training run into
+such a DAG using the cost model, and read the resulting virtual makespan
+and per-node utilization timeline (for the energy model) from the
+:class:`~repro.cluster.trace.Trace`.
+
+The engine is deterministic: equal-time events resolve in submission
+order.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Iterable
+
+from .topology import ClusterSpec
+from .trace import TaskSpan, Trace, TransferSpan
+
+__all__ = ["Task", "ClusterSimulator"]
+
+
+@dataclass(eq=False)
+class Task:
+    """A node in the execution DAG (compute task or network transfer)."""
+
+    name: str
+    #: compute: node index; transfer: source node index
+    node: int
+    #: compute: cores required; transfers use 0 cores
+    cores: int
+    #: compute: execution time in seconds (already divided by core speed)
+    duration: float
+    #: transfer-only fields
+    dst: int | None = None
+    n_bytes: float = 0.0
+
+    # -- runtime state (managed by the simulator)
+    deps_remaining: int = 0
+    dependents: list["Task"] = field(default_factory=list)
+    start_time: float | None = None
+    end_time: float | None = None
+    submitted: bool = False
+    _seq: int = 0
+
+    @property
+    def is_transfer(self) -> bool:
+        return self.dst is not None
+
+    @property
+    def done(self) -> bool:
+        return self.end_time is not None
+
+
+class ClusterSimulator:
+    """Event-driven executor for task DAGs on a :class:`ClusterSpec`."""
+
+    def __init__(self, spec: ClusterSpec) -> None:
+        self.spec = spec
+        self.trace = Trace()
+        self.now = 0.0
+        self._heap: list[tuple[float, int, Task]] = []
+        self._seq = itertools.count()
+        self._free_cores = [node.n_cores for node in spec.nodes]
+        self._node_queues: list[deque[Task]] = [deque() for _ in spec.nodes]
+        self._link_free_at: dict[tuple[int, int], float] = {}
+        self._pending = 0
+
+    # ------------------------------------------------------------- authoring
+    def task(
+        self,
+        name: str,
+        node: int,
+        duration: float,
+        cores: int = 1,
+        deps: Iterable[Task] = (),
+    ) -> Task:
+        """Create and submit a compute task."""
+        self._check_node(node)
+        if cores < 1 or cores > self.spec.nodes[node].n_cores:
+            raise ValueError(
+                f"task {name!r} wants {cores} cores; node {node} has "
+                f"{self.spec.nodes[node].n_cores}"
+            )
+        if duration < 0:
+            raise ValueError("duration must be non-negative")
+        t = Task(name=name, node=node, cores=cores, duration=float(duration))
+        self._submit(t, deps)
+        return t
+
+    def transfer(
+        self,
+        name: str,
+        src: int,
+        dst: int,
+        n_bytes: float,
+        deps: Iterable[Task] = (),
+    ) -> Task:
+        """Create and submit a network transfer ``src → dst``.
+
+        Same-node transfers are free (shared memory) but still act as DAG
+        synchronization points.
+        """
+        self._check_node(src)
+        self._check_node(dst)
+        duration = 0.0 if src == dst else self.spec.link.transfer_time(n_bytes)
+        t = Task(
+            name=name, node=src, cores=0, duration=duration, dst=dst, n_bytes=float(n_bytes)
+        )
+        self._submit(t, deps)
+        return t
+
+    def barrier(self, name: str, node: int, deps: Iterable[Task]) -> Task:
+        """A zero-duration, zero-core synchronization task."""
+        t = Task(name=name, node=node, cores=0, duration=0.0)
+        self._submit(t, deps)
+        return t
+
+    # -------------------------------------------------------------- running
+    def run(self) -> Trace:
+        """Execute all submitted tasks; returns the trace."""
+        while self._heap:
+            time, _, task = heapq.heappop(self._heap)
+            self.now = max(self.now, time)
+            self._finish(task)
+        if self._pending:
+            stuck = self._pending
+            raise RuntimeError(
+                f"deadlock: {stuck} task(s) never became runnable "
+                "(dependency cycle or impossible resource demand)"
+            )
+        return self.trace
+
+    @property
+    def makespan(self) -> float:
+        return self.trace.makespan
+
+    # ------------------------------------------------------------ internals
+    def _check_node(self, node: int) -> None:
+        if not 0 <= node < self.spec.n_nodes:
+            raise ValueError(f"node index {node} out of range (cluster has {self.spec.n_nodes})")
+
+    def _submit(self, task: Task, deps: Iterable[Task]) -> None:
+        deps = list(deps)
+        for d in deps:
+            if not d.submitted:
+                raise ValueError("dependency was not created by this simulator")
+            if not d.done:
+                d.dependents.append(task)
+                task.deps_remaining += 1
+        task.submitted = True
+        task._seq = next(self._seq)
+        self._pending += 1
+        if task.deps_remaining == 0:
+            self._make_ready(task)
+
+    def _make_ready(self, task: Task) -> None:
+        if task.is_transfer:
+            self._start_transfer(task)
+        elif task.cores == 0:
+            self._start(task)
+        else:
+            self._node_queues[task.node].append(task)
+            self._drain_node(task.node)
+
+    def _drain_node(self, node: int) -> None:
+        queue = self._node_queues[node]
+        # FIFO with head-of-line blocking: deterministic and conservative.
+        while queue and queue[0].cores <= self._free_cores[node]:
+            task = queue.popleft()
+            self._free_cores[node] -= task.cores
+            self._start(task)
+
+    def _start(self, task: Task) -> None:
+        task.start_time = self.now
+        end = self.now + task.duration
+        heapq.heappush(self._heap, (end, task._seq, task))
+
+    def _start_transfer(self, task: Task) -> None:
+        assert task.dst is not None
+        key = (task.node, task.dst)
+        free_at = self._link_free_at.get(key, 0.0)
+        start = max(self.now, free_at)
+        task.start_time = start
+        end = start + task.duration
+        if task.node != task.dst:
+            self._link_free_at[key] = end
+        heapq.heappush(self._heap, (end, task._seq, task))
+
+    def _finish(self, task: Task) -> None:
+        task.end_time = self.now
+        self._pending -= 1
+        if task.is_transfer:
+            assert task.dst is not None and task.start_time is not None
+            self.trace.transfers.append(
+                TransferSpan(
+                    name=task.name,
+                    src=task.node,
+                    dst=task.dst,
+                    n_bytes=task.n_bytes,
+                    start=task.start_time,
+                    end=self.now,
+                )
+            )
+        else:
+            assert task.start_time is not None
+            if task.cores > 0:
+                self._free_cores[task.node] += task.cores
+                self.trace.tasks.append(
+                    TaskSpan(
+                        name=task.name,
+                        node=task.node,
+                        cores=task.cores,
+                        start=task.start_time,
+                        end=self.now,
+                    )
+                )
+        for dependent in task.dependents:
+            dependent.deps_remaining -= 1
+            if dependent.deps_remaining == 0:
+                self._make_ready(dependent)
+        task.dependents.clear()
+        if task.cores > 0 and not task.is_transfer:
+            self._drain_node(task.node)

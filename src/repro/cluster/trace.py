@@ -1,0 +1,102 @@
+"""Execution trace records produced by the cluster simulator.
+
+Every compute task and network transfer leaves a span; the power model
+integrates node utilization over these spans, and tests/benchmarks can
+assert scheduling properties (no core oversubscription, FIFO links, ...).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["TaskSpan", "TransferSpan", "Trace"]
+
+
+@dataclass(frozen=True)
+class TaskSpan:
+    """One executed compute task."""
+
+    name: str
+    node: int
+    cores: int
+    start: float
+    end: float
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+
+@dataclass(frozen=True)
+class TransferSpan:
+    """One executed network transfer."""
+
+    name: str
+    src: int
+    dst: int
+    n_bytes: float
+    start: float
+    end: float
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+
+@dataclass
+class Trace:
+    """All spans of one simulated run."""
+
+    tasks: list[TaskSpan] = field(default_factory=list)
+    transfers: list[TransferSpan] = field(default_factory=list)
+
+    @property
+    def makespan(self) -> float:
+        ends = [t.end for t in self.tasks] + [t.end for t in self.transfers]
+        return max(ends) if ends else 0.0
+
+    def tasks_on_node(self, node: int) -> list[TaskSpan]:
+        return [t for t in self.tasks if t.node == node]
+
+    def busy_core_timeline(self, node: int) -> tuple[np.ndarray, np.ndarray]:
+        """Piecewise-constant busy-core count for ``node``.
+
+        Returns ``(times, busy)`` where ``busy[i]`` holds on
+        ``[times[i], times[i+1])``; the last segment extends to the
+        makespan. Empty node → single zero segment.
+        """
+        spans = self.tasks_on_node(node)
+        if not spans:
+            return np.array([0.0]), np.array([0])
+        events: dict[float, int] = {}
+        for s in spans:
+            events[s.start] = events.get(s.start, 0) + s.cores
+            events[s.end] = events.get(s.end, 0) - s.cores
+        times = np.array(sorted(events))
+        deltas = np.array([events[t] for t in times])
+        busy = np.cumsum(deltas)
+        return times, busy
+
+    def node_busy_core_seconds(self, node: int) -> float:
+        """Integral of busy cores over time (core-seconds) for ``node``."""
+        return sum(s.duration * s.cores for s in self.tasks_on_node(node))
+
+    def utilization(self, node: int, n_cores: int, horizon: float | None = None) -> float:
+        """Mean core utilization of ``node`` over ``[0, horizon]``."""
+        horizon = self.makespan if horizon is None else horizon
+        if horizon <= 0:
+            return 0.0
+        return self.node_busy_core_seconds(node) / (n_cores * horizon)
+
+    def bytes_transferred(self) -> float:
+        return float(sum(t.n_bytes for t in self.transfers))
+
+    def summary(self) -> dict[str, float]:
+        return {
+            "makespan_s": self.makespan,
+            "n_tasks": float(len(self.tasks)),
+            "n_transfers": float(len(self.transfers)),
+            "bytes_transferred": self.bytes_transferred(),
+        }

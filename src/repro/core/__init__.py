@@ -1,0 +1,123 @@
+"""The methodology: parameter spaces, exploration, metrics, ranking, campaigns."""
+
+from .analysis import (
+    EffectsTable,
+    pairwise_interaction,
+    parameter_effects,
+    parameter_importance,
+)
+from .campaign import Campaign, CaseStudy, DecisionReport
+from .configuration import Configuration
+from .exploration import Explorer, GridSearch, LatinHypercube, RandomSearch
+from .metrics import (
+    BandwidthUsage,
+    ComputationTime,
+    Metric,
+    MetricSet,
+    PowerConsumption,
+    Reward,
+    TimeToThreshold,
+)
+from .parameters import (
+    KINDS,
+    Boolean,
+    Categorical,
+    Float,
+    Integer,
+    Parameter,
+    ParameterSpace,
+)
+from .pareto import (
+    crowding_distance,
+    dominates,
+    epsilon_filter,
+    hypervolume_2d,
+    hypervolume_mc,
+    knee_point,
+    non_dominated_mask,
+    pareto_fronts,
+    to_minimization,
+)
+from .pruning import MedianPruner, NoPruner, Pruner
+from .ranking import (
+    LexicographicRanking,
+    ParetoFrontRanking,
+    Ranking,
+    RankingMethod,
+    SortedTableRanking,
+    WeightedSumRanking,
+)
+from .report import render_ranking, render_scatter, render_table
+from .results import ResultsTable, TrialResult, TrialStatus
+from .serialization import (
+    dump_report,
+    load_table,
+    rank_loaded,
+    table_from_dict,
+    table_to_dict,
+)
+from .study import FrozenTrial, Study, Trial, TrialPruned
+from .tpe import TPESampler
+
+__all__ = [
+    "Parameter",
+    "Categorical",
+    "Integer",
+    "Float",
+    "Boolean",
+    "ParameterSpace",
+    "KINDS",
+    "Configuration",
+    "Explorer",
+    "RandomSearch",
+    "GridSearch",
+    "LatinHypercube",
+    "TPESampler",
+    "Pruner",
+    "NoPruner",
+    "MedianPruner",
+    "Metric",
+    "MetricSet",
+    "Reward",
+    "ComputationTime",
+    "PowerConsumption",
+    "BandwidthUsage",
+    "TimeToThreshold",
+    "to_minimization",
+    "dominates",
+    "non_dominated_mask",
+    "pareto_fronts",
+    "crowding_distance",
+    "hypervolume_2d",
+    "hypervolume_mc",
+    "knee_point",
+    "epsilon_filter",
+    "Ranking",
+    "RankingMethod",
+    "ParetoFrontRanking",
+    "SortedTableRanking",
+    "WeightedSumRanking",
+    "LexicographicRanking",
+    "ResultsTable",
+    "TrialResult",
+    "TrialStatus",
+    "Campaign",
+    "CaseStudy",
+    "DecisionReport",
+    "Study",
+    "Trial",
+    "FrozenTrial",
+    "TrialPruned",
+    "render_table",
+    "render_scatter",
+    "render_ranking",
+    "EffectsTable",
+    "parameter_effects",
+    "parameter_importance",
+    "pairwise_interaction",
+    "table_to_dict",
+    "table_from_dict",
+    "dump_report",
+    "load_table",
+    "rank_loaded",
+]

@@ -1,0 +1,134 @@
+"""Post-campaign analysis: parameter effects and importances.
+
+The ranking methods (§III-B-e) tell the user *which* solutions win; this
+module helps explain *why* — the §VI-D style observations ("using all the
+available CPU cores speeds-up the training", "SAC was inefficient") as
+numbers instead of prose:
+
+* :func:`parameter_effects` — per-parameter-value conditional means of a
+  metric (a one-way effects table);
+* :func:`parameter_importance` — variance-decomposition importance: the
+  share of the metric's variance explained by each parameter alone
+  (one-way ANOVA R², normalized across parameters);
+* :func:`pairwise_interaction` — two-parameter conditional mean grid for
+  inspecting interactions (e.g. framework × nodes).
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass
+
+import numpy as np
+
+from .results import ResultsTable
+
+__all__ = [
+    "EffectsTable",
+    "parameter_effects",
+    "parameter_importance",
+    "pairwise_interaction",
+]
+
+
+@dataclass(frozen=True)
+class EffectsTable:
+    """One-way effects of a parameter on a metric."""
+
+    parameter: str
+    metric: str
+    #: value -> (mean, std, count)
+    levels: dict
+
+    def best_level(self, maximize: bool):
+        """The parameter value with the best conditional mean."""
+        key = max if maximize else min
+        return key(self.levels, key=lambda v: self.levels[v][0])
+
+    def spread(self) -> float:
+        """Max minus min conditional mean — the raw effect size."""
+        means = [mean for mean, _, _ in self.levels.values()]
+        return float(max(means) - min(means))
+
+    def render(self) -> str:
+        lines = [f"effect of {self.parameter!r} on {self.metric!r}:"]
+        for value, (mean, std, count) in sorted(self.levels.items(), key=lambda kv: str(kv[0])):
+            lines.append(f"  {value!r:>12}: mean {mean:10.4g}  std {std:8.3g}  n={count}")
+        return "\n".join(lines)
+
+
+def _completed_rows(table: ResultsTable, metric_name: str):
+    trials = table.completed()
+    if not trials:
+        raise ValueError("no completed trials to analyse")
+    if metric_name not in table.metrics:
+        raise KeyError(f"unknown metric {metric_name!r}")
+    return trials
+
+
+def parameter_effects(
+    table: ResultsTable, parameter: str, metric_name: str
+) -> EffectsTable:
+    """Conditional mean/std of ``metric`` for each value of ``parameter``."""
+    trials = _completed_rows(table, metric_name)
+    groups: dict = defaultdict(list)
+    for t in trials:
+        if parameter not in t.config:
+            raise KeyError(f"parameter {parameter!r} not in trial configurations")
+        groups[t.config[parameter]].append(t.objectives[metric_name])
+    levels = {
+        value: (float(np.mean(vals)), float(np.std(vals)), len(vals))
+        for value, vals in groups.items()
+    }
+    return EffectsTable(parameter=parameter, metric=metric_name, levels=levels)
+
+
+def parameter_importance(
+    table: ResultsTable, metric_name: str, parameters: list[str] | None = None
+) -> dict[str, float]:
+    """One-way variance-explained importance of each parameter.
+
+    For parameter P with levels L: R²(P) = Var(E[y | P]) / Var(y), the
+    classic one-way ANOVA ratio. Returned values are normalized to sum to
+    one across the analysed parameters (zero total variance → all zeros).
+    """
+    trials = _completed_rows(table, metric_name)
+    y = np.array([t.objectives[metric_name] for t in trials], dtype=np.float64)
+    total_var = float(y.var())
+    if parameters is None:
+        parameters = sorted({name for t in trials for name in t.config})
+    raw: dict[str, float] = {}
+    for parameter in parameters:
+        groups: dict = defaultdict(list)
+        for value, yi in zip([t.config[parameter] for t in trials], y):
+            groups[value].append(yi)
+        if total_var <= 0:
+            raw[parameter] = 0.0
+            continue
+        # variance of group means, weighted by group size
+        overall = y.mean()
+        between = sum(len(g) * (np.mean(g) - overall) ** 2 for g in groups.values())
+        raw[parameter] = float(between / (len(y) * total_var))
+    total = sum(raw.values())
+    if total <= 0:
+        return {p: 0.0 for p in raw}
+    return {p: v / total for p, v in raw.items()}
+
+
+def pairwise_interaction(
+    table: ResultsTable, param_a: str, param_b: str, metric_name: str
+) -> dict[tuple, tuple[float, int]]:
+    """Conditional means over the cross product of two parameters.
+
+    Returns ``{(value_a, value_b): (mean, count)}`` for the observed
+    combinations.
+    """
+    trials = _completed_rows(table, metric_name)
+    groups: dict = defaultdict(list)
+    for t in trials:
+        groups[(t.config[param_a], t.config[param_b])].append(t.objectives[metric_name])
+    return {
+        key: (float(np.mean(vals)), len(vals)) for key, vals in sorted(
+            groups.items(), key=lambda kv: (str(kv[0][0]), str(kv[0][1]))
+        )
+    }

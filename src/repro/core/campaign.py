@@ -1,0 +1,196 @@
+"""Campaign orchestration: the methodology end to end (Figure 1).
+
+A :class:`Campaign` wires the five steps together:
+
+1. *case study* — anything implementing :class:`CaseStudy`;
+2. *learning configurations* — a :class:`ParameterSpace`;
+3. *exploratory method* — an :class:`Explorer`;
+4. *evaluation metrics* — a :class:`MetricSet`;
+5. *ranking methods* — one or more :class:`RankingMethod`.
+
+``run()`` drives the explorer, evaluates every proposal (with optional
+pruning on the learning-curve checkpoints), feeds objectives back to
+adaptive explorers, and returns a :class:`DecisionReport` bundling the
+results table, all rankings and their textual/ASCII renderings — the
+"decision analysis tool" handed to the user.
+"""
+
+from __future__ import annotations
+
+import time
+import traceback
+from dataclasses import dataclass, field
+from typing import Any, Callable, Mapping, Protocol, runtime_checkable
+
+from .configuration import Configuration
+from .exploration import Explorer
+from .metrics import MetricSet
+from .parameters import ParameterSpace
+from .pruning import NoPruner, Pruner
+from .ranking import ParetoFrontRanking, Ranking, RankingMethod
+from .report import render_ranking, render_scatter, render_table
+from .results import ResultsTable, TrialResult, TrialStatus
+
+__all__ = ["CaseStudy", "Campaign", "DecisionReport", "ProgressCallback"]
+
+
+@runtime_checkable
+class CaseStudy(Protocol):
+    """The problem under study (methodology step 1).
+
+    ``evaluate`` runs one learning configuration and returns the raw
+    measurement dict the metrics extract from. ``progress`` (when not
+    None) must be called with ``(step, reward_checkpoint)`` during the
+    run; a ``True`` return value requests early stopping (pruning).
+    """
+
+    def evaluate(
+        self,
+        config: Configuration,
+        seed: int,
+        progress: Callable[[int, float], bool] | None = None,
+    ) -> Mapping[str, float]:
+        ...
+
+
+#: called after every finished trial with (trial_result, n_done)
+ProgressCallback = Callable[[TrialResult, int], None]
+
+
+@dataclass
+class DecisionReport:
+    """The decision analysis tool: table + rankings + renderings."""
+
+    table: ResultsTable
+    rankings: dict[str, Ranking]
+    elapsed_s: float = 0.0
+    meta: dict[str, Any] = field(default_factory=dict)
+
+    def ranking(self, name: str) -> Ranking:
+        try:
+            return self.rankings[name]
+        except KeyError:
+            raise KeyError(
+                f"no ranking named {name!r}; available: {sorted(self.rankings)}"
+            ) from None
+
+    def fronts(self) -> dict[str, list[int]]:
+        """Per-ranking first-front trial ids (the paper's highlights)."""
+        return {name: r.front_ids() for name, r in self.rankings.items()}
+
+    def render(self, plots: bool = True, max_rows: int | None = None) -> str:
+        """Full text report: table, rankings, and ASCII Pareto plots."""
+        sections = [render_table(self.table, title="Campaign results")]
+        for name, ranking in self.rankings.items():
+            sections.append(render_ranking(ranking, max_rows=max_rows))
+            if plots and len(ranking.metric_names) == 2:
+                mx = self.table.metrics[ranking.metric_names[0]]
+                my = self.table.metrics[ranking.metric_names[1]]
+                sections.append(
+                    render_scatter(
+                        self.table.completed(),
+                        mx,
+                        my,
+                        front_ids=ranking.front_ids(),
+                        title=f"{name}: {my.name} vs {mx.name}",
+                    )
+                )
+        return "\n\n".join(sections)
+
+
+class Campaign:
+    """Runs the methodology over a case study."""
+
+    def __init__(
+        self,
+        case_study: CaseStudy,
+        space: ParameterSpace,
+        explorer: Explorer,
+        metrics: MetricSet,
+        rankers: list[RankingMethod] | None = None,
+        pruner: Pruner | None = None,
+        base_seed: int = 0,
+        raise_on_error: bool = False,
+    ) -> None:
+        if not isinstance(case_study, CaseStudy):
+            raise TypeError("case_study must implement evaluate(config, seed, progress)")
+        self.case_study = case_study
+        self.space = space
+        self.explorer = explorer
+        self.metrics = metrics
+        self.rankers = rankers if rankers is not None else _default_rankers(metrics)
+        self.pruner = pruner or NoPruner()
+        self.base_seed = int(base_seed)
+        self.raise_on_error = bool(raise_on_error)
+
+    def run(self, progress: ProgressCallback | None = None) -> DecisionReport:
+        """Execute every trial the explorer proposes and rank the outcome."""
+        table = ResultsTable(self.metrics, self.space)
+        start = time.perf_counter()
+        while True:
+            config = self.explorer.ask()
+            if config is None:
+                break
+            trial = self._run_trial(config)
+            table.add(trial)
+            if trial.ok:
+                self.explorer.tell(config, trial.objectives)
+                self.pruner.finish(config.trial_id)
+            if progress is not None:
+                progress(trial, len(table))
+        rankings = {r.name: r.rank(table) for r in self.rankers} if table.completed() else {}
+        return DecisionReport(
+            table=table,
+            rankings=rankings,
+            elapsed_s=time.perf_counter() - start,
+            meta={
+                "n_trials": len(table),
+                "n_completed": len(table.completed()),
+                "explorer": type(self.explorer).__name__,
+            },
+        )
+
+    # ------------------------------------------------------------ internals
+    def _run_trial(self, config: Configuration) -> TrialResult:
+        self.space.validate(config.as_dict())
+        seed = self.base_seed
+        trial_id = config.trial_id
+        pruned = False
+
+        def progress_hook(step: int, value: float) -> bool:
+            nonlocal pruned
+            if self.pruner.report(trial_id, step, value):
+                pruned = True
+                return True
+            return False
+
+        try:
+            measurements = dict(self.case_study.evaluate(config, seed, progress=progress_hook))
+        except Exception as exc:  # noqa: BLE001 - campaign survives bad trials
+            if self.raise_on_error:
+                raise
+            return TrialResult(
+                config=config,
+                objectives={},
+                status=TrialStatus.FAILED,
+                seed=seed,
+                extras={"error": repr(exc), "traceback": traceback.format_exc()},
+            )
+        objectives = self.metrics.extract_all(measurements)
+        return TrialResult(
+            config=config,
+            objectives=objectives,
+            status=TrialStatus.PRUNED if pruned else TrialStatus.COMPLETED,
+            seed=seed,
+            measurements={k: v for k, v in measurements.items() if isinstance(v, (int, float))},
+        )
+
+
+def _default_rankers(metrics: MetricSet) -> list[RankingMethod]:
+    """All metric pairs as Pareto rankings (the paper's three figures)."""
+    names = metrics.names
+    rankers: list[RankingMethod] = []
+    for i in range(len(names)):
+        for j in range(i + 1, len(names)):
+            rankers.append(ParetoFrontRanking([names[i], names[j]]))
+    return rankers

@@ -1,0 +1,76 @@
+"""Learning configurations: immutable parameter assignments.
+
+A :class:`Configuration` is one point of the parameter space — the unit
+the exploratory method proposes, the case study evaluates and the ranking
+method orders (a row of the paper's Table I).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping
+from typing import Any, Iterator
+
+from .parameters import KINDS, ParameterSpace
+
+__all__ = ["Configuration"]
+
+
+class Configuration(Mapping):
+    """An immutable, hashable mapping of parameter name → value."""
+
+    __slots__ = ("_values", "_key", "trial_id")
+
+    def __init__(self, values: Mapping[str, Any], trial_id: int | None = None) -> None:
+        self._values = dict(values)
+        self._key = tuple(sorted((k, repr(v)) for k, v in self._values.items()))
+        #: position in the campaign (1-based, like the paper's solution ids)
+        self.trial_id = trial_id
+
+    # ------------------------------------------------------------- mapping
+    def __getitem__(self, name: str) -> Any:
+        return self._values[name]
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._values)
+
+    def __len__(self) -> int:
+        return len(self._values)
+
+    def as_dict(self) -> dict[str, Any]:
+        return dict(self._values)
+
+    # ------------------------------------------------------------ identity
+    def __hash__(self) -> int:
+        return hash(self._key)
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, Configuration):
+            return self._key == other._key
+        if isinstance(other, Mapping):
+            return self._values == dict(other)
+        return NotImplemented
+
+    def key(self) -> tuple:
+        """A canonical hashable identity (ignores ``trial_id``)."""
+        return self._key
+
+    # -------------------------------------------------------------- extras
+    def split_by_kind(self, space: ParameterSpace) -> dict[str, dict[str, Any]]:
+        """Group values by parameter provenance (§III-B-b)."""
+        out: dict[str, dict[str, Any]] = {kind: {} for kind in KINDS}
+        for p in space:
+            if p.name in self._values:
+                out[p.kind][p.name] = self._values[p.name]
+        return out
+
+    def with_trial_id(self, trial_id: int) -> "Configuration":
+        return Configuration(self._values, trial_id=trial_id)
+
+    def describe(self) -> str:
+        """Compact single-line rendering, stable key order."""
+        inner = ", ".join(f"{k}={self._values[k]!r}" for k in sorted(self._values))
+        prefix = f"#{self.trial_id} " if self.trial_id is not None else ""
+        return f"{prefix}{{{inner}}}"
+
+    def __repr__(self) -> str:
+        return f"Configuration({self.describe()})"

@@ -1,0 +1,133 @@
+"""Evaluation metrics (methodology step 4, §III-B-d).
+
+A metric is a named, directed quantity extracted from a trial's raw
+measurement dict. The paper's study uses three:
+
+* :func:`Reward` — mean landing score the learning run collects (maximize);
+* :func:`ComputationTime` — virtual wall time of the whole learning
+  process, "from the launch of the first actor until the last stop"
+  (minimize, seconds);
+* :func:`PowerConsumption` — CPU-curve energy (minimize, kilojoules).
+
+Arbitrary additional metrics can be declared (bandwidth usage, memory,
+...) as long as the case study reports a value under the metric's key.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping
+
+__all__ = [
+    "Metric",
+    "MetricSet",
+    "Reward",
+    "ComputationTime",
+    "PowerConsumption",
+    "BandwidthUsage",
+    "TimeToThreshold",
+]
+
+
+@dataclass(frozen=True)
+class Metric:
+    """A named objective with an optimization direction."""
+
+    name: str
+    direction: str = "min"          # "min" | "max"
+    unit: str = ""
+    #: key into the case study's raw measurement dict (default: name)
+    key: str | None = None
+
+    def __post_init__(self) -> None:
+        if self.direction not in ("min", "max"):
+            raise ValueError("direction must be 'min' or 'max'")
+        if not self.name:
+            raise ValueError("metric needs a name")
+
+    @property
+    def maximize(self) -> bool:
+        return self.direction == "max"
+
+    def extract(self, measurements: Mapping[str, float]) -> float:
+        key = self.key or self.name
+        if key not in measurements:
+            raise KeyError(
+                f"case study did not report {key!r}; available: {sorted(measurements)}"
+            )
+        return float(measurements[key])
+
+    def better(self, a: float, b: float) -> bool:
+        """True when ``a`` is strictly better than ``b``."""
+        return a > b if self.maximize else a < b
+
+    def label(self) -> str:
+        return f"{self.name} ({self.unit})" if self.unit else self.name
+
+
+def Reward() -> Metric:
+    """The RL task objective: higher landing score is better."""
+    return Metric(name="reward", direction="max", unit="landing score")
+
+
+def ComputationTime() -> Metric:
+    """Total learning wall time on the (virtual) testbed."""
+    return Metric(name="computation_time", direction="min", unit="s")
+
+
+def PowerConsumption() -> Metric:
+    """Energy consumed by the allocated nodes."""
+    return Metric(name="power_consumption", direction="min", unit="kJ")
+
+
+def BandwidthUsage() -> Metric:
+    """Bytes crossing the interconnect (a §III-B-d example metric)."""
+    return Metric(name="bandwidth_usage", direction="min", unit="MB")
+
+
+def TimeToThreshold() -> Metric:
+    """Virtual time until the learning curve first crosses a reward
+    threshold (convergence speed — an extension decision axis).
+
+    Case studies report runs that never cross at twice their total
+    computation time, a documented finite penalty that keeps the metric
+    orderable.
+    """
+    return Metric(name="time_to_threshold", direction="min", unit="s")
+
+
+class MetricSet:
+    """An ordered collection of uniquely named metrics."""
+
+    def __init__(self, metrics: list[Metric]) -> None:
+        if not metrics:
+            raise ValueError("need at least one metric")
+        names = [m.name for m in metrics]
+        if len(set(names)) != len(names):
+            raise ValueError("duplicate metric names")
+        self.metrics = list(metrics)
+
+    def __iter__(self):
+        return iter(self.metrics)
+
+    def __len__(self) -> int:
+        return len(self.metrics)
+
+    def __getitem__(self, name: str) -> Metric:
+        for m in self.metrics:
+            if m.name == name:
+                return m
+        raise KeyError(f"no metric named {name!r}")
+
+    def __contains__(self, name: str) -> bool:
+        return any(m.name == name for m in self.metrics)
+
+    @property
+    def names(self) -> list[str]:
+        return [m.name for m in self.metrics]
+
+    def extract_all(self, measurements: Mapping[str, float]) -> dict[str, float]:
+        return {m.name: m.extract(measurements) for m in self.metrics}
+
+    def directions(self) -> list[str]:
+        return [m.direction for m in self.metrics]

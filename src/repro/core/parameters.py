@@ -1,0 +1,310 @@
+"""Parameter space definitions (methodology step 2, §III-B-b).
+
+A *learning configuration* is "a set of parameters selected for a learning
+task". Parameters are typed (categorical / integer / float / boolean) and
+carry the paper's three-way provenance classification:
+
+* ``environment`` — case-study knobs (e.g. the Runge–Kutta order, wind);
+* ``algorithm``   — learning-stack choices (framework, algorithm, lr);
+* ``system``      — deployment sizing (number of nodes, CPU cores).
+
+A :class:`ParameterSpace` combines parameters with validity constraints
+(e.g. *multi-node deployments exist only under the RLlib framework*) and
+supports uniform sampling, exhaustive grids and cardinality queries — the
+raw material the exploratory methods consume.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterator, Sequence
+
+import numpy as np
+
+__all__ = [
+    "Parameter",
+    "Categorical",
+    "Integer",
+    "Float",
+    "Boolean",
+    "ParameterSpace",
+    "Constraint",
+    "KINDS",
+]
+
+KINDS = ("environment", "algorithm", "system")
+
+
+@dataclass(frozen=True)
+class Parameter:
+    """Base class for a single named parameter."""
+
+    name: str
+    kind: str = "algorithm"
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("parameter needs a non-empty name")
+        if self.kind not in KINDS:
+            raise ValueError(f"kind must be one of {KINDS}, got {self.kind!r}")
+
+    def sample(self, rng: np.random.Generator) -> Any:
+        raise NotImplementedError
+
+    def grid(self) -> list[Any]:
+        """All values (finite parameters) or a representative lattice."""
+        raise NotImplementedError
+
+    def contains(self, value: Any) -> bool:
+        raise NotImplementedError
+
+    @property
+    def cardinality(self) -> float:
+        """Number of distinct values (``inf`` for continuous)."""
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class Categorical(Parameter):
+    """A finite unordered set of choices."""
+
+    choices: tuple[Any, ...] = ()
+
+    def __init__(self, name: str, choices: Sequence[Any], kind: str = "algorithm") -> None:
+        object.__setattr__(self, "choices", tuple(choices))
+        super().__init__(name=name, kind=kind)
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if not self.choices:
+            raise ValueError(f"categorical parameter {self.name!r} needs choices")
+        if len(set(map(repr, self.choices))) != len(self.choices):
+            raise ValueError(f"categorical parameter {self.name!r} has duplicate choices")
+
+    def sample(self, rng: np.random.Generator) -> Any:
+        return self.choices[int(rng.integers(len(self.choices)))]
+
+    def grid(self) -> list[Any]:
+        return list(self.choices)
+
+    def contains(self, value: Any) -> bool:
+        return value in self.choices
+
+    @property
+    def cardinality(self) -> float:
+        return float(len(self.choices))
+
+
+@dataclass(frozen=True)
+class Integer(Parameter):
+    """An integer range ``[low, high]`` (inclusive), optionally log-scaled."""
+
+    low: int = 0
+    high: int = 1
+    log: bool = False
+
+    def __init__(
+        self, name: str, low: int, high: int, kind: str = "algorithm", log: bool = False
+    ) -> None:
+        object.__setattr__(self, "low", int(low))
+        object.__setattr__(self, "high", int(high))
+        object.__setattr__(self, "log", bool(log))
+        super().__init__(name=name, kind=kind)
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if self.low > self.high:
+            raise ValueError(f"integer parameter {self.name!r}: low > high")
+        if self.log and self.low < 1:
+            raise ValueError(f"log-scaled integer parameter {self.name!r} needs low >= 1")
+
+    def sample(self, rng: np.random.Generator) -> int:
+        if self.log:
+            value = math.exp(rng.uniform(math.log(self.low), math.log(self.high + 1)))
+            return int(min(self.high, max(self.low, math.floor(value))))
+        return int(rng.integers(self.low, self.high + 1))
+
+    def grid(self, max_points: int = 16) -> list[int]:
+        n = self.high - self.low + 1
+        if n <= max_points:
+            return list(range(self.low, self.high + 1))
+        if self.log:
+            pts = np.unique(
+                np.round(np.exp(np.linspace(math.log(self.low), math.log(self.high), max_points)))
+            )
+        else:
+            pts = np.unique(np.round(np.linspace(self.low, self.high, max_points)))
+        return [int(p) for p in pts]
+
+    def contains(self, value: Any) -> bool:
+        return isinstance(value, (int, np.integer)) and self.low <= int(value) <= self.high
+
+    @property
+    def cardinality(self) -> float:
+        return float(self.high - self.low + 1)
+
+
+@dataclass(frozen=True)
+class Float(Parameter):
+    """A continuous range ``[low, high]``, optionally log-scaled."""
+
+    low: float = 0.0
+    high: float = 1.0
+    log: bool = False
+
+    def __init__(
+        self, name: str, low: float, high: float, kind: str = "algorithm", log: bool = False
+    ) -> None:
+        object.__setattr__(self, "low", float(low))
+        object.__setattr__(self, "high", float(high))
+        object.__setattr__(self, "log", bool(log))
+        super().__init__(name=name, kind=kind)
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if not self.low < self.high:
+            raise ValueError(f"float parameter {self.name!r}: low must be < high")
+        if self.log and self.low <= 0:
+            raise ValueError(f"log-scaled float parameter {self.name!r} needs low > 0")
+
+    def sample(self, rng: np.random.Generator) -> float:
+        if self.log:
+            value = math.exp(rng.uniform(math.log(self.low), math.log(self.high)))
+        else:
+            value = rng.uniform(self.low, self.high)
+        # exp/log round-tripping can land an ulp outside the bounds
+        return float(min(self.high, max(self.low, value)))
+
+    def grid(self, max_points: int = 8) -> list[float]:
+        if self.log:
+            return [
+                float(v)
+                for v in np.exp(np.linspace(math.log(self.low), math.log(self.high), max_points))
+            ]
+        return [float(v) for v in np.linspace(self.low, self.high, max_points)]
+
+    def contains(self, value: Any) -> bool:
+        return isinstance(value, (int, float, np.floating, np.integer)) and (
+            self.low <= float(value) <= self.high
+        )
+
+    @property
+    def cardinality(self) -> float:
+        return float("inf")
+
+
+class Boolean(Categorical):
+    """An on/off switch (e.g. the wind activation of §IV-B)."""
+
+    def __init__(self, name: str, kind: str = "algorithm") -> None:
+        super().__init__(name=name, choices=(False, True), kind=kind)
+
+
+#: a constraint rejects invalid combinations; receives the raw value dict
+Constraint = Callable[[dict[str, Any]], bool]
+
+
+@dataclass
+class ParameterSpace:
+    """An ordered collection of parameters plus validity constraints."""
+
+    parameters: list[Parameter] = field(default_factory=list)
+    constraints: list[Constraint] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        names = [p.name for p in self.parameters]
+        if len(set(names)) != len(names):
+            raise ValueError("duplicate parameter names in space")
+
+    # --------------------------------------------------------------- access
+    def __iter__(self) -> Iterator[Parameter]:
+        return iter(self.parameters)
+
+    def __len__(self) -> int:
+        return len(self.parameters)
+
+    def __getitem__(self, name: str) -> Parameter:
+        for p in self.parameters:
+            if p.name == name:
+                return p
+        raise KeyError(f"no parameter named {name!r}")
+
+    def __contains__(self, name: str) -> bool:
+        return any(p.name == name for p in self.parameters)
+
+    @property
+    def names(self) -> list[str]:
+        return [p.name for p in self.parameters]
+
+    def by_kind(self, kind: str) -> list[Parameter]:
+        """Parameters with the given provenance (§III-B-b classification)."""
+        if kind not in KINDS:
+            raise ValueError(f"kind must be one of {KINDS}")
+        return [p for p in self.parameters if p.kind == kind]
+
+    # ------------------------------------------------------------- validity
+    def is_valid(self, values: dict[str, Any]) -> bool:
+        """Check membership of every value and every constraint."""
+        if set(values) != set(self.names):
+            return False
+        for p in self.parameters:
+            if not p.contains(values[p.name]):
+                return False
+        return all(constraint(values) for constraint in self.constraints)
+
+    def validate(self, values: dict[str, Any]) -> None:
+        """Raise ``ValueError`` with a precise message when invalid."""
+        missing = set(self.names) - set(values)
+        extra = set(values) - set(self.names)
+        if missing or extra:
+            raise ValueError(f"configuration keys mismatch: missing={missing}, extra={extra}")
+        for p in self.parameters:
+            if not p.contains(values[p.name]):
+                raise ValueError(
+                    f"value {values[p.name]!r} is not valid for parameter {p.name!r}"
+                )
+        for i, constraint in enumerate(self.constraints):
+            if not constraint(values):
+                raise ValueError(f"configuration violates constraint #{i}: {values}")
+
+    # ------------------------------------------------------------- sampling
+    def sample(self, rng: np.random.Generator, max_tries: int = 1000) -> dict[str, Any]:
+        """Uniformly sample a *valid* configuration (rejection sampling)."""
+        for _ in range(max_tries):
+            values = {p.name: p.sample(rng) for p in self.parameters}
+            if all(constraint(values) for constraint in self.constraints):
+                return values
+        raise RuntimeError(
+            f"could not sample a valid configuration in {max_tries} tries; "
+            "constraints may be unsatisfiable"
+        )
+
+    def grid(self) -> Iterator[dict[str, Any]]:
+        """Exhaustive cartesian product of parameter grids, constraint-filtered."""
+        def rec(index: int, current: dict[str, Any]) -> Iterator[dict[str, Any]]:
+            if index == len(self.parameters):
+                if all(constraint(current) for constraint in self.constraints):
+                    yield dict(current)
+                return
+            p = self.parameters[index]
+            for value in p.grid():
+                current[p.name] = value
+                yield from rec(index + 1, current)
+            current.pop(p.name, None)
+
+        yield from rec(0, {})
+
+    @property
+    def cardinality(self) -> float:
+        """Upper bound on the number of grid configurations (pre-constraints)."""
+        total = 1.0
+        for p in self.parameters:
+            total *= p.cardinality
+        return total
+
+    def grid_size(self) -> int:
+        """Exact number of *valid* grid configurations (finite spaces)."""
+        if math.isinf(self.cardinality):
+            raise ValueError("grid_size is undefined for continuous spaces")
+        return sum(1 for _ in self.grid())

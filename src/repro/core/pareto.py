@@ -1,0 +1,211 @@
+"""Pareto-dominance machinery (methodology step 5 substrate).
+
+Vectorized non-dominated sorting, crowding distances, hypervolume and
+knee-point extraction over objective matrices. Conventions:
+
+* ``points`` is ``(n, d)``;
+* ``directions`` is a length-``d`` sequence of ``'min'``/``'max'``;
+  internally everything is converted to minimization.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+__all__ = [
+    "to_minimization",
+    "dominates",
+    "non_dominated_mask",
+    "pareto_fronts",
+    "crowding_distance",
+    "hypervolume_2d",
+    "hypervolume_mc",
+    "knee_point",
+    "epsilon_filter",
+]
+
+
+def to_minimization(points: np.ndarray, directions: Sequence[str]) -> np.ndarray:
+    """Flip maximized columns so that smaller is always better."""
+    pts = np.asarray(points, dtype=np.float64)
+    if pts.ndim != 2:
+        raise ValueError("points must be a 2-D array (n, d)")
+    if pts.shape[1] != len(directions):
+        raise ValueError("directions length must match the number of columns")
+    signs = np.array([-1.0 if d == "max" else 1.0 for d in directions])
+    if any(d not in ("min", "max") for d in directions):
+        raise ValueError("directions must contain only 'min'/'max'")
+    return pts * signs
+
+
+def dominates(a: np.ndarray, b: np.ndarray) -> bool:
+    """Pareto dominance for minimization: ``a`` ≤ ``b`` everywhere, < somewhere."""
+    a = np.asarray(a, dtype=np.float64)
+    b = np.asarray(b, dtype=np.float64)
+    return bool(np.all(a <= b) and np.any(a < b))
+
+
+def non_dominated_mask(points: np.ndarray, directions: Sequence[str]) -> np.ndarray:
+    """Boolean mask of the first Pareto front.
+
+    Fully vectorized pairwise comparison, O(n² d) — appropriate for
+    campaign-scale n (tens to thousands of trials).
+    """
+    pts = to_minimization(points, directions)
+    n = len(pts)
+    if n == 0:
+        return np.zeros(0, dtype=bool)
+    # dominated[i] = exists j: pts[j] <= pts[i] everywhere and < somewhere
+    le = np.all(pts[:, None, :] <= pts[None, :, :], axis=2)      # j dominates-or-equals i
+    lt = np.any(pts[:, None, :] < pts[None, :, :], axis=2)
+    dominated = np.any(le & lt, axis=0)
+    return ~dominated
+
+
+def pareto_fronts(points: np.ndarray, directions: Sequence[str]) -> list[np.ndarray]:
+    """Successive Pareto fronts (NSGA-II style non-dominated sorting).
+
+    Returns index arrays: ``fronts[0]`` is the non-dominated set, and so
+    on. Every point belongs to exactly one front.
+    """
+    pts = to_minimization(points, directions)
+    n = len(pts)
+    remaining = np.arange(n)
+    fronts: list[np.ndarray] = []
+    while remaining.size:
+        sub = pts[remaining]
+        le = np.all(sub[:, None, :] <= sub[None, :, :], axis=2)
+        lt = np.any(sub[:, None, :] < sub[None, :, :], axis=2)
+        dominated = np.any(le & lt, axis=0)
+        front = remaining[~dominated]
+        fronts.append(front)
+        remaining = remaining[dominated]
+    return fronts
+
+
+def crowding_distance(points: np.ndarray, directions: Sequence[str] | None = None) -> np.ndarray:
+    """NSGA-II crowding distance within one front (boundary points get inf)."""
+    pts = np.asarray(points, dtype=np.float64)
+    if directions is not None:
+        pts = to_minimization(pts, directions)
+    n, d = pts.shape
+    if n <= 2:
+        return np.full(n, np.inf)
+    distance = np.zeros(n)
+    for j in range(d):
+        order = np.argsort(pts[:, j], kind="stable")
+        col = pts[order, j]
+        span = col[-1] - col[0]
+        distance[order[0]] = np.inf
+        distance[order[-1]] = np.inf
+        if span <= 0:
+            continue
+        distance[order[1:-1]] += (col[2:] - col[:-2]) / span
+    return distance
+
+
+def hypervolume_2d(
+    points: np.ndarray, reference: Sequence[float], directions: Sequence[str] = ("min", "min")
+) -> float:
+    """Exact dominated hypervolume for two objectives.
+
+    ``reference`` must be dominated by every point (after conversion to
+    minimization); points beyond it contribute nothing.
+    """
+    pts = to_minimization(points, directions)
+    ref = to_minimization(np.asarray(reference, dtype=float)[None, :], directions)[0]
+    if pts.shape[1] != 2:
+        raise ValueError("hypervolume_2d needs exactly two objectives")
+    mask = non_dominated_mask(pts, ("min", "min"))
+    front = pts[mask]
+    front = front[np.all(front <= ref, axis=1)]
+    if len(front) == 0:
+        return 0.0
+    front = front[np.argsort(front[:, 0], kind="stable")]
+    volume = 0.0
+    prev_x = ref[0]
+    # sweep right-to-left: each point adds a rectangle up to the reference
+    for x, y in front[::-1]:
+        volume += (prev_x - x) * (ref[1] - y)
+        prev_x = x
+    return float(volume)
+
+
+def hypervolume_mc(
+    points: np.ndarray,
+    reference: Sequence[float],
+    directions: Sequence[str],
+    n_samples: int = 20000,
+    seed: int = 0,
+) -> float:
+    """Monte-Carlo dominated hypervolume for d ≥ 2 objectives."""
+    pts = to_minimization(points, directions)
+    ref = to_minimization(np.asarray(reference, dtype=float)[None, :], directions)[0]
+    mask = non_dominated_mask(pts, ["min"] * pts.shape[1])
+    front = pts[mask]
+    front = front[np.all(front <= ref, axis=1)]
+    if len(front) == 0:
+        return 0.0
+    lower = front.min(axis=0)
+    box = np.prod(ref - lower)
+    if box <= 0:
+        return 0.0
+    rng = np.random.default_rng(seed)
+    samples = rng.uniform(lower, ref, size=(n_samples, pts.shape[1]))
+    covered = np.any(np.all(samples[:, None, :] >= front[None, :, :], axis=2), axis=1)
+    return float(box * covered.mean())
+
+
+def knee_point(points: np.ndarray, directions: Sequence[str]) -> int:
+    """Index of the front's knee: max distance to the extreme-point chord.
+
+    For two objectives this is the classic "elbow" solution — the best
+    single compromise when the user refuses to weight the metrics.
+    """
+    pts = to_minimization(points, directions)
+    mask = non_dominated_mask(pts, ["min"] * pts.shape[1])
+    front_idx = np.where(mask)[0]
+    front = pts[front_idx]
+    if len(front) == 1:
+        return int(front_idx[0])
+    # normalize to [0,1] to make the chord geometry scale-free
+    lo, hi = front.min(axis=0), front.max(axis=0)
+    span = np.where(hi > lo, hi - lo, 1.0)
+    norm = (front - lo) / span
+    # chord between the per-objective extremes
+    a = norm[np.argmin(norm[:, 0])]
+    b = norm[np.argmin(norm[:, -1])]
+    chord = b - a
+    chord_norm = np.linalg.norm(chord)
+    if chord_norm < 1e-12:
+        return int(front_idx[0])
+    rel = norm - a
+    # distance from each point to the chord line
+    proj = np.outer(rel @ chord / chord_norm**2, chord)
+    dist = np.linalg.norm(rel - proj, axis=1)
+    return int(front_idx[int(np.argmax(dist))])
+
+
+def epsilon_filter(
+    points: np.ndarray, directions: Sequence[str], epsilon: float
+) -> np.ndarray:
+    """Thin a front: greedily keep points at least ``epsilon`` apart
+    (normalized objective space). Returns indices of the kept points.
+    """
+    if epsilon < 0:
+        raise ValueError("epsilon must be non-negative")
+    pts = to_minimization(points, directions)
+    mask = non_dominated_mask(pts, ["min"] * pts.shape[1])
+    idx = np.where(mask)[0]
+    front = pts[idx]
+    lo, hi = front.min(axis=0), front.max(axis=0)
+    span = np.where(hi > lo, hi - lo, 1.0)
+    norm = (front - lo) / span
+    order = np.argsort(norm[:, 0], kind="stable")
+    kept: list[int] = []
+    for i in order:
+        if all(np.linalg.norm(norm[i] - norm[j]) >= epsilon for j in kept):
+            kept.append(i)
+    return idx[np.array(kept, dtype=int)]

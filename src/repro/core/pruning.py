@@ -1,0 +1,91 @@
+"""Trial pruning (the §III-C Optuna idea).
+
+The paper notes that hyperparameter-optimization frameworks contribute
+"pruning algorithms which automatically stop unpromising trials". Pruners
+receive intermediate objective values (here: the learning-curve reward
+checkpoints the framework back-ends emit) and decide whether to abort the
+trial early — saving real compute in large campaigns.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+
+import numpy as np
+
+__all__ = ["Pruner", "NoPruner", "MedianPruner"]
+
+
+class Pruner:
+    """Decides whether a running trial should be stopped early."""
+
+    def report(self, trial_id: int, step: int, value: float) -> bool:
+        """Record an intermediate value; returns ``True`` to prune.
+
+        ``value`` follows the convention *higher is better* (the reward
+        checkpoints of the learning curve).
+        """
+        raise NotImplementedError
+
+    def finish(self, trial_id: int) -> None:
+        """Mark a trial as complete (its history becomes comparison data)."""
+
+
+class NoPruner(Pruner):
+    """Never prunes (the paper's §V campaign runs every trial fully)."""
+
+    def report(self, trial_id: int, step: int, value: float) -> bool:
+        return False
+
+
+class MedianPruner(Pruner):
+    """Optuna-style median pruning.
+
+    A trial is pruned at ``step`` when its intermediate value is strictly
+    below the median of the values other trials reported at comparable
+    progress, provided at least ``n_startup_trials`` finished and the
+    trial has passed ``n_warmup_steps``.
+    """
+
+    def __init__(
+        self,
+        n_startup_trials: int = 4,
+        n_warmup_steps: int = 0,
+        interval: int = 1,
+    ) -> None:
+        if n_startup_trials < 1:
+            raise ValueError("n_startup_trials must be >= 1")
+        self.n_startup_trials = int(n_startup_trials)
+        self.n_warmup_steps = int(n_warmup_steps)
+        self.interval = max(1, int(interval))
+        #: trial_id -> {step -> value}
+        self._histories: dict[int, dict[int, float]] = defaultdict(dict)
+        self._finished: set[int] = set()
+        self._report_counts: dict[int, int] = defaultdict(int)
+
+    def report(self, trial_id: int, step: int, value: float) -> bool:
+        self._histories[trial_id][step] = float(value)
+        self._report_counts[trial_id] += 1
+        if step < self.n_warmup_steps:
+            return False
+        if self._report_counts[trial_id] % self.interval:
+            return False
+        if len(self._finished) < self.n_startup_trials:
+            return False
+        peers = []
+        for other_id in self._finished:
+            if other_id == trial_id:
+                continue
+            history = self._histories[other_id]
+            if not history:
+                continue
+            # best value the peer had reached by this progress point
+            reached = [v for s, v in history.items() if s <= step]
+            if reached:
+                peers.append(max(reached))
+        if not peers:
+            return False
+        return float(value) < float(np.median(peers))
+
+    def finish(self, trial_id: int) -> None:
+        self._finished.add(trial_id)

@@ -1,0 +1,128 @@
+"""Text rendering of campaign results: tables and ASCII Pareto plots.
+
+The methodology's final deliverable is "a decision analysis tool ... a
+simple-to-interpret graph for the user". This module renders:
+
+* the configuration/results table (Table I's layout);
+* two-metric scatter plots with the Pareto front marked (Figures 4–6);
+* a per-ranking textual hierarchy.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from .metrics import Metric
+from .ranking import Ranking
+from .results import ResultsTable, TrialResult
+
+__all__ = ["render_table", "render_scatter", "render_ranking"]
+
+
+def render_table(table: ResultsTable, title: str | None = None) -> str:
+    """Fixed-width text table of all trials (params + objectives)."""
+    columns = table._columns()
+    rows = [[_fmt(v) for v in row] for row in table.rows()]
+    widths = [len(c) for c in columns]
+    for row in rows:
+        for j, cell in enumerate(row):
+            widths[j] = max(widths[j], len(cell))
+    sep = "-+-".join("-" * w for w in widths)
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(" | ".join(c.ljust(w) for c, w in zip(columns, widths)))
+    lines.append(sep)
+    for row in rows:
+        lines.append(" | ".join(cell.ljust(w) for cell, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def _fmt(value) -> str:
+    if isinstance(value, float):
+        if value != value:  # NaN
+            return "nan"
+        return f"{value:.4g}"
+    return str(value)
+
+
+def render_scatter(
+    trials: Sequence[TrialResult],
+    metric_x: Metric,
+    metric_y: Metric,
+    front_ids: Sequence[int] = (),
+    width: int = 64,
+    height: int = 20,
+    title: str | None = None,
+) -> str:
+    """ASCII scatter of two objectives; front members render as ``#``.
+
+    Axis orientation follows the metric directions so that *better is
+    toward the lower-left corner* for min/min pairs, matching the paper's
+    figures (points labelled by trial id when they fit).
+    """
+    if width < 20 or height < 8:
+        raise ValueError("plot must be at least 20x8 characters")
+    pts = np.array(
+        [[t.objectives[metric_x.name], t.objectives[metric_y.name]] for t in trials],
+        dtype=np.float64,
+    )
+    if len(pts) == 0:
+        return "(no completed trials)"
+    ids = [t.trial_id for t in trials]
+    front = set(front_ids)
+
+    x_lo, x_hi = pts[:, 0].min(), pts[:, 0].max()
+    y_lo, y_hi = pts[:, 1].min(), pts[:, 1].max()
+    x_span = (x_hi - x_lo) or 1.0
+    y_span = (y_hi - y_lo) or 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    for (x, y), trial_id in zip(pts, ids):
+        col = int(round((x - x_lo) / x_span * (width - 1)))
+        row = int(round((y - y_lo) / y_span * (height - 1)))
+        row = height - 1 - row  # text rows grow downward
+        marker = "#" if trial_id in front else "o"
+        grid[row][col] = marker
+        label = str(trial_id) if trial_id is not None else ""
+        for k, ch in enumerate(label):
+            c = col + 1 + k
+            if c < width and grid[row][c] == " ":
+                grid[row][c] = ch
+
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(f"y: {metric_y.label()}  (top = {y_hi:.4g}, bottom = {y_lo:.4g})")
+    lines.append("+" + "-" * width + "+")
+    for row in grid:
+        lines.append("|" + "".join(row) + "|")
+    lines.append("+" + "-" * width + "+")
+    lines.append(
+        f"x: {metric_x.label()}  (left = {x_lo:.4g}, right = {x_hi:.4g});"
+        "  # = Pareto front, o = dominated"
+    )
+    return "\n".join(lines)
+
+
+def render_ranking(ranking: Ranking, max_rows: int | None = None) -> str:
+    """Textual hierarchy: front membership, knee flag, metric values."""
+    lines = [f"ranking {ranking.name!r} over metrics {ranking.metric_names}"]
+    rows = ranking.ordered if max_rows is None else ranking.ordered[:max_rows]
+    for position, trial in enumerate(rows):
+        ann = ranking.annotations.get(trial.trial_id, {})
+        tags = []
+        if ann.get("front") == 0:
+            tags.append("FRONT")
+        if ann.get("knee"):
+            tags.append("KNEE")
+        values = ", ".join(
+            f"{name}={trial.objectives[name]:.4g}" for name in ranking.metric_names
+        )
+        tag_str = f" [{' '.join(tags)}]" if tags else ""
+        lines.append(f"  {position + 1:>2}. trial {trial.trial_id}: {values}{tag_str}")
+    if max_rows is not None and len(ranking.ordered) > max_rows:
+        lines.append(f"  ... ({len(ranking.ordered) - max_rows} more)")
+    return "\n".join(lines)

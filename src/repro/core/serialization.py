@@ -1,0 +1,117 @@
+"""JSON (de)serialization of campaign artefacts.
+
+Decision reports are meant to be shared with "experts from different
+domains" (§I); this module round-trips the results table — configurations,
+objectives, statuses, raw measurements — through plain JSON so reports can
+be archived, diffed and re-ranked later without re-running the campaign.
+
+Rankings are cheap to recompute, so only the table is persisted; use
+:func:`rank_loaded` to rebuild rankings from a loaded table.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any
+
+from .campaign import DecisionReport
+from .configuration import Configuration
+from .metrics import Metric, MetricSet
+from .ranking import RankingMethod
+from .results import ResultsTable, TrialResult
+
+__all__ = [
+    "table_to_dict",
+    "table_from_dict",
+    "dump_report",
+    "load_table",
+    "rank_loaded",
+]
+
+_FORMAT_VERSION = 1
+
+
+def _jsonable(value: Any) -> Any:
+    """Coerce numpy scalars and other simple types into JSON natives."""
+    if hasattr(value, "item") and callable(value.item):
+        try:
+            return value.item()
+        except (ValueError, TypeError):  # pragma: no cover - exotic arrays
+            return str(value)
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    return str(value)
+
+
+def table_to_dict(table: ResultsTable) -> dict[str, Any]:
+    """Serialize a results table (metrics + every trial) to plain dicts."""
+    return {
+        "format_version": _FORMAT_VERSION,
+        "metrics": [
+            {"name": m.name, "direction": m.direction, "unit": m.unit, "key": m.key}
+            for m in table.metrics
+        ],
+        "trials": [
+            {
+                "trial_id": t.trial_id,
+                "config": {k: _jsonable(v) for k, v in t.config.as_dict().items()},
+                "objectives": {k: float(v) for k, v in t.objectives.items()},
+                "measurements": {k: float(v) for k, v in t.measurements.items()},
+                "status": t.status,
+                "seed": t.seed,
+            }
+            for t in table
+        ],
+    }
+
+
+def table_from_dict(payload: dict[str, Any]) -> ResultsTable:
+    """Inverse of :func:`table_to_dict`."""
+    version = payload.get("format_version")
+    if version != _FORMAT_VERSION:
+        raise ValueError(f"unsupported report format version {version!r}")
+    metrics = MetricSet(
+        [
+            Metric(
+                name=m["name"],
+                direction=m["direction"],
+                unit=m.get("unit", ""),
+                key=m.get("key"),
+            )
+            for m in payload["metrics"]
+        ]
+    )
+    table = ResultsTable(metrics)
+    for row in payload["trials"]:
+        table.add(
+            TrialResult(
+                config=Configuration(row["config"], trial_id=row.get("trial_id")),
+                objectives=dict(row.get("objectives", {})),
+                measurements=dict(row.get("measurements", {})),
+                status=row.get("status", "completed"),
+                seed=int(row.get("seed", 0)),
+            )
+        )
+    return table
+
+
+def dump_report(report: DecisionReport, path: str, indent: int = 2) -> None:
+    """Write a decision report's table (plus metadata) to a JSON file."""
+    payload = table_to_dict(report.table)
+    payload["meta"] = {k: _jsonable(v) for k, v in report.meta.items()}
+    payload["elapsed_s"] = report.elapsed_s
+    payload["fronts"] = {name: list(ids) for name, ids in report.fronts().items()}
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=indent)
+
+
+def load_table(path: str) -> ResultsTable:
+    """Load the results table saved by :func:`dump_report`."""
+    with open(path, encoding="utf-8") as handle:
+        return table_from_dict(json.load(handle))
+
+
+def rank_loaded(table: ResultsTable, rankers: list[RankingMethod]) -> DecisionReport:
+    """Re-rank a loaded table into a fresh :class:`DecisionReport`."""
+    rankings = {r.name: r.rank(table) for r in rankers}
+    return DecisionReport(table=table, rankings=rankings, meta={"source": "loaded"})

@@ -1,0 +1,209 @@
+"""Optuna-style ask/tell facade (the §III-C implementation alternative).
+
+The paper suggests the methodology "by using a hyperparameter optimization
+framework such as Optuna or Hyperopt". This module provides that shape of
+API on top of our explorers and pruners::
+
+    def objective(trial):
+        x = trial.suggest_float("x", -5, 5)
+        algo = trial.suggest_categorical("algo", ["ppo", "sac"])
+        ...
+        return loss
+
+    study = Study(direction="minimize", sampler="tpe", seed=0)
+    study.optimize(objective, n_trials=30)
+    study.best_trial
+
+The space is discovered dynamically from the first trial's ``suggest_*``
+calls (later trials must request the same parameters, as in Optuna's
+define-by-run model restricted to a fixed tree).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+import numpy as np
+
+from .configuration import Configuration
+from .exploration import Explorer, RandomSearch
+from .parameters import Categorical, Float, Integer, Parameter, ParameterSpace
+from .pruning import NoPruner, Pruner
+from .tpe import TPESampler
+
+__all__ = ["Trial", "FrozenTrial", "Study", "TrialPruned"]
+
+
+class TrialPruned(Exception):
+    """Raised inside an objective to signal a pruner-initiated stop."""
+
+
+@dataclass
+class FrozenTrial:
+    """A finished trial."""
+
+    number: int
+    params: dict[str, Any]
+    value: float | None
+    state: str  # "complete" | "pruned" | "failed"
+    intermediate: dict[int, float] = field(default_factory=dict)
+
+
+class Trial:
+    """Handle passed to the objective: parameter suggestions + pruning."""
+
+    def __init__(self, study: "Study", number: int, values: dict[str, Any] | None) -> None:
+        self._study = study
+        self.number = number
+        #: values pre-drawn by the sampler (None during space discovery)
+        self._assigned = values
+        self.params: dict[str, Any] = {}
+        self.intermediate: dict[int, float] = {}
+
+    # ------------------------------------------------------------ suggest
+    def _suggest(self, param: Parameter) -> Any:
+        self._study._register_param(param)
+        if self._assigned is not None and param.name in self._assigned:
+            value = self._assigned[param.name]
+        else:
+            value = param.sample(self._study._rng)
+        self.params[param.name] = value
+        return value
+
+    def suggest_float(self, name: str, low: float, high: float, log: bool = False) -> float:
+        return float(self._suggest(Float(name, low, high, log=log)))
+
+    def suggest_int(self, name: str, low: int, high: int, log: bool = False) -> int:
+        return int(self._suggest(Integer(name, low, high, log=log)))
+
+    def suggest_categorical(self, name: str, choices: list[Any]) -> Any:
+        return self._suggest(Categorical(name, choices))
+
+    # ------------------------------------------------------------- pruning
+    def report(self, value: float, step: int) -> None:
+        self.intermediate[step] = float(value)
+
+    def should_prune(self, step: int | None = None) -> bool:
+        if not self.intermediate:
+            return False
+        last_step = step if step is not None else max(self.intermediate)
+        return self._study._pruner.report(
+            self.number, last_step, self.intermediate[last_step]
+        )
+
+
+class Study:
+    """Minimal single-objective study with random or TPE sampling."""
+
+    def __init__(
+        self,
+        direction: str = "minimize",
+        sampler: str = "tpe",
+        seed: int | None = None,
+        pruner: Pruner | None = None,
+    ) -> None:
+        if direction not in ("minimize", "maximize"):
+            raise ValueError("direction must be 'minimize' or 'maximize'")
+        if sampler not in ("tpe", "random"):
+            raise ValueError("sampler must be 'tpe' or 'random'")
+        self.direction = direction
+        self.sampler_kind = sampler
+        self.seed = seed
+        self._rng = np.random.default_rng(seed)
+        self._pruner = pruner or NoPruner()
+        self._params: dict[str, Parameter] = {}
+        self.trials: list[FrozenTrial] = []
+        self._explorer: Explorer | None = None
+
+    # ------------------------------------------------------------ internals
+    def _register_param(self, param: Parameter) -> None:
+        known = self._params.get(param.name)
+        if known is None:
+            if self._explorer is not None:
+                raise RuntimeError(
+                    f"parameter {param.name!r} appeared after space discovery; "
+                    "all trials must request the same parameters"
+                )
+            self._params[param.name] = param
+        elif type(known) is not type(param):
+            raise RuntimeError(f"parameter {param.name!r} changed type between trials")
+
+    def _space(self) -> ParameterSpace:
+        return ParameterSpace(list(self._params.values()))
+
+    def _make_explorer(self, n_remaining: int) -> Explorer:
+        space = self._space()
+        # derive a distinct stream so the explorer does not replay the
+        # discovery trial's draws
+        sampler_seed = None if self.seed is None else self.seed + 0x5EED
+        if self.sampler_kind == "random":
+            return RandomSearch(space, n_trials=n_remaining, seed=sampler_seed, dedupe=False)
+        sign = 1.0 if self.direction == "minimize" else -1.0
+        return TPESampler(
+            space,
+            n_trials=n_remaining,
+            seed=sampler_seed,
+            scalarize=lambda objs: sign * objs["value"],
+        )
+
+    # ------------------------------------------------------------------ API
+    def optimize(self, objective: Callable[[Trial], float], n_trials: int) -> None:
+        """Run ``n_trials`` evaluations of ``objective``."""
+        if n_trials < 1:
+            raise ValueError("n_trials must be >= 1")
+        for _ in range(n_trials):
+            number = len(self.trials)
+            if self._explorer is None:
+                # discovery trial: objective draws its own values
+                trial = Trial(self, number, values=None)
+            else:
+                config = self._explorer.ask()
+                values = config.as_dict() if config is not None else None
+                trial = Trial(self, number, values=values)
+            try:
+                value = float(objective(trial))
+                state = "complete"
+            except TrialPruned:
+                value = None
+                state = "pruned"
+            except Exception:
+                value = None
+                state = "failed"
+            self.trials.append(
+                FrozenTrial(
+                    number=number,
+                    params=dict(trial.params),
+                    value=value,
+                    state=state,
+                    intermediate=dict(trial.intermediate),
+                )
+            )
+            self._pruner.finish(number)
+            if self._explorer is None:
+                self._explorer = self._make_explorer(n_remaining=max(n_trials * 4, 16))
+            if state == "complete" and self._explorer is not None:
+                self._explorer.tell(
+                    Configuration(trial.params, trial_id=number), {"value": value}
+                )
+
+    @property
+    def completed_trials(self) -> list[FrozenTrial]:
+        return [t for t in self.trials if t.state == "complete"]
+
+    @property
+    def best_trial(self) -> FrozenTrial:
+        done = self.completed_trials
+        if not done:
+            raise ValueError("no completed trials")
+        if self.direction == "minimize":
+            return min(done, key=lambda t: t.value)
+        return max(done, key=lambda t: t.value)
+
+    @property
+    def best_value(self) -> float:
+        return float(self.best_trial.value)
+
+    @property
+    def best_params(self) -> dict[str, Any]:
+        return dict(self.best_trial.params)

@@ -1,0 +1,48 @@
+"""Gym-style environment substrate (spaces, Env API, registry, vector envs)."""
+
+from .env import ActionWrapper, Env, ObservationWrapper, RewardWrapper, Wrapper
+from .registry import EnvSpec, make, register, registry, spec
+from .spaces import Box, Dict, Discrete, MultiDiscrete, Space, Tuple, flatdim, flatten, unflatten
+from .vector import EpisodeStats, SyncVectorEnv
+from .wrappers import (
+    ClipAction,
+    NormalizeObservation,
+    OrderEnforcing,
+    RecordEpisodeStatistics,
+    RescaleAction,
+    RunningMeanStd,
+    TimeLimit,
+    TransformReward,
+)
+
+__all__ = [
+    "Env",
+    "Wrapper",
+    "ObservationWrapper",
+    "ActionWrapper",
+    "RewardWrapper",
+    "Space",
+    "Box",
+    "Discrete",
+    "MultiDiscrete",
+    "Tuple",
+    "Dict",
+    "flatdim",
+    "flatten",
+    "unflatten",
+    "register",
+    "make",
+    "spec",
+    "registry",
+    "EnvSpec",
+    "SyncVectorEnv",
+    "EpisodeStats",
+    "TimeLimit",
+    "OrderEnforcing",
+    "RecordEpisodeStatistics",
+    "ClipAction",
+    "RescaleAction",
+    "NormalizeObservation",
+    "TransformReward",
+    "RunningMeanStd",
+]

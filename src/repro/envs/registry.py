@@ -1,0 +1,137 @@
+"""Environment registry: ``register('Airdrop-v0', ...)`` / ``make('Airdrop-v0')``.
+
+Mirrors the ``gym.make`` workflow the paper's Algorithm 1 uses
+(``env <- gym.make('simulator', args)``): environments are registered under
+versioned string ids together with default constructor kwargs and an
+optional default time limit.
+"""
+
+from __future__ import annotations
+
+import importlib
+import re
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from .env import Env
+from .wrappers import OrderEnforcing, TimeLimit
+
+__all__ = ["EnvSpec", "register", "make", "registry", "spec"]
+
+_ID_RE = re.compile(r"^(?P<name>[\w:.-]+?)(-v(?P<version>\d+))?$")
+
+
+@dataclass
+class EnvSpec:
+    """A registered environment blueprint."""
+
+    id: str
+    entry_point: Callable[..., Env] | str
+    kwargs: dict[str, Any] = field(default_factory=dict)
+    max_episode_steps: int | None = None
+    reward_threshold: float | None = None
+
+    @property
+    def name(self) -> str:
+        match = _ID_RE.match(self.id)
+        assert match is not None
+        return match.group("name")
+
+    @property
+    def version(self) -> int | None:
+        match = _ID_RE.match(self.id)
+        assert match is not None
+        version = match.group("version")
+        return None if version is None else int(version)
+
+    def resolve_entry_point(self) -> Callable[..., Env]:
+        """Import-and-return the constructor when given as ``'module:attr'``."""
+        if callable(self.entry_point):
+            return self.entry_point
+        module_name, _, attr = self.entry_point.partition(":")
+        module = importlib.import_module(module_name)
+        return getattr(module, attr)
+
+    def make(self, **kwargs: Any) -> Env:
+        """Instantiate the environment with merged kwargs and wrappers."""
+        merged = {**self.kwargs, **kwargs}
+        max_steps = merged.pop("max_episode_steps", self.max_episode_steps)
+        env = self.resolve_entry_point()(**merged)
+        env.spec = self
+        env = OrderEnforcing(env)
+        if max_steps is not None:
+            env = TimeLimit(env, max_episode_steps=int(max_steps))
+        return env
+
+
+class EnvRegistry:
+    """A mapping of env id -> :class:`EnvSpec` with helpful error messages."""
+
+    def __init__(self) -> None:
+        self._specs: dict[str, EnvSpec] = {}
+
+    def register(
+        self,
+        id: str,
+        entry_point: Callable[..., Env] | str,
+        *,
+        kwargs: dict[str, Any] | None = None,
+        max_episode_steps: int | None = None,
+        reward_threshold: float | None = None,
+        force: bool = False,
+    ) -> EnvSpec:
+        if not _ID_RE.match(id):
+            raise ValueError(f"malformed environment id {id!r}")
+        if id in self._specs and not force:
+            raise ValueError(f"environment {id!r} is already registered")
+        env_spec = EnvSpec(
+            id=id,
+            entry_point=entry_point,
+            kwargs=dict(kwargs or {}),
+            max_episode_steps=max_episode_steps,
+            reward_threshold=reward_threshold,
+        )
+        self._specs[id] = env_spec
+        return env_spec
+
+    def spec(self, id: str) -> EnvSpec:
+        try:
+            return self._specs[id]
+        except KeyError:
+            close = [known for known in self._specs if known.split("-v")[0] == id.split("-v")[0]]
+            hint = f" (did you mean {close[0]!r}?)" if close else ""
+            raise KeyError(f"no environment registered under id {id!r}{hint}") from None
+
+    def make(self, id: str, **kwargs: Any) -> Env:
+        return self.spec(id).make(**kwargs)
+
+    def __contains__(self, id: str) -> bool:
+        return id in self._specs
+
+    def __iter__(self):
+        return iter(self._specs.values())
+
+    def __len__(self) -> int:
+        return len(self._specs)
+
+    def ids(self) -> list[str]:
+        return sorted(self._specs)
+
+
+#: The process-wide default registry.
+registry = EnvRegistry()
+
+
+def register(id: str, entry_point: Callable[..., Env] | str, **kwargs: Any) -> EnvSpec:
+    """Register an environment in the default registry."""
+    return registry.register(id, entry_point, **kwargs)
+
+
+def make(id: str, **kwargs: Any) -> Env:
+    """Instantiate a registered environment (the paper's ``gym.make``)."""
+    return registry.make(id, **kwargs)
+
+
+def spec(id: str) -> EnvSpec:
+    """Look up the :class:`EnvSpec` for ``id``."""
+    return registry.spec(id)

@@ -1,0 +1,141 @@
+"""Synchronous vectorized environments.
+
+The paper's Stable-Baselines back-end "provides parallelized environments
+through vectorization" with **one vectorized environment per CPU core**
+(§VI-C). :class:`SyncVectorEnv` is that substrate: it steps ``n`` sub-envs
+in lockstep and auto-resets finished episodes, returning batched arrays
+ready for the numpy policy networks.
+
+The host executes sub-envs sequentially (this is a simulation — parallel
+speed-up is accounted by the cluster simulator, not by host threads), but
+the semantics match a parallel vector env exactly.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Sequence
+
+import numpy as np
+
+from .env import Env
+from .spaces import Box, Discrete, Space
+
+__all__ = ["SyncVectorEnv", "EpisodeStats"]
+
+
+class EpisodeStats:
+    """Rolling record of completed episodes across all sub-envs."""
+
+    def __init__(self) -> None:
+        self.returns: list[float] = []
+        self.lengths: list[int] = []
+
+    def add(self, episode_return: float, episode_length: int) -> None:
+        self.returns.append(float(episode_return))
+        self.lengths.append(int(episode_length))
+
+    def recent_mean_return(self, window: int = 100) -> float:
+        if not self.returns:
+            return float("nan")
+        return float(np.mean(self.returns[-window:]))
+
+    def __len__(self) -> int:
+        return len(self.returns)
+
+
+class SyncVectorEnv:
+    """Step ``n`` sub-environments in lockstep with auto-reset.
+
+    Parameters
+    ----------
+    env_fns:
+        Factories creating each sub-environment.
+    """
+
+    def __init__(self, env_fns: Sequence[Callable[[], Env]]) -> None:
+        if not env_fns:
+            raise ValueError("SyncVectorEnv needs at least one env factory")
+        self.envs: list[Env] = [fn() for fn in env_fns]
+        self.num_envs = len(self.envs)
+        self.single_observation_space: Space = self.envs[0].observation_space
+        self.single_action_space: Space = self.envs[0].action_space
+        for env in self.envs[1:]:
+            if env.observation_space.shape != self.single_observation_space.shape:
+                raise ValueError("all sub-envs must share one observation space")
+        self.stats = EpisodeStats()
+        self._episode_returns = np.zeros(self.num_envs, dtype=np.float64)
+        self._episode_lengths = np.zeros(self.num_envs, dtype=np.int64)
+        self._autoreset = np.zeros(self.num_envs, dtype=bool)
+
+    # ------------------------------------------------------------------ API
+    def reset(self, *, seed: int | None = None) -> tuple[np.ndarray, list[dict]]:
+        """Reset every sub-env. A scalar seed is fanned out per sub-env."""
+        observations, infos = [], []
+        for index, env in enumerate(self.envs):
+            sub_seed = None if seed is None else seed + index
+            obs, info = env.reset(seed=sub_seed)
+            observations.append(np.asarray(obs, dtype=np.float64))
+            infos.append(info)
+        self._episode_returns[:] = 0.0
+        self._episode_lengths[:] = 0
+        self._autoreset[:] = False
+        return np.stack(observations), infos
+
+    def step(
+        self, actions: np.ndarray | Sequence[Any]
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray, list[dict]]:
+        """Step all sub-envs; finished episodes are reset immediately.
+
+        The returned observation for a finished sub-env is the first
+        observation of its *next* episode, while ``info['final_observation']``
+        carries the terminal observation — the convention PPO's GAE
+        bootstrapping relies on.
+        """
+        observations = np.empty(
+            (self.num_envs, *self.single_observation_space.shape), dtype=np.float64
+        )
+        rewards = np.zeros(self.num_envs, dtype=np.float64)
+        terminations = np.zeros(self.num_envs, dtype=bool)
+        truncations = np.zeros(self.num_envs, dtype=bool)
+        infos: list[dict] = []
+
+        for index, (env, action) in enumerate(zip(self.envs, actions)):
+            obs, reward, terminated, truncated, info = env.step(action)
+            self._episode_returns[index] += float(reward)
+            self._episode_lengths[index] += 1
+            if terminated or truncated:
+                info = dict(info)
+                info["final_observation"] = np.asarray(obs, dtype=np.float64)
+                info["episode"] = {
+                    "r": float(self._episode_returns[index]),
+                    "l": int(self._episode_lengths[index]),
+                }
+                self.stats.add(self._episode_returns[index], self._episode_lengths[index])
+                self._episode_returns[index] = 0.0
+                self._episode_lengths[index] = 0
+                obs, _ = env.reset()
+            observations[index] = np.asarray(obs, dtype=np.float64)
+            rewards[index] = float(reward)
+            terminations[index] = bool(terminated)
+            truncations[index] = bool(truncated)
+            infos.append(info)
+        return observations, rewards, terminations, truncations, infos
+
+    def sample_actions(self, rng: np.random.Generator | None = None) -> np.ndarray:
+        """Batch of random actions, one per sub-env (useful for warmup)."""
+        actions = [self.single_action_space.sample(rng) for _ in range(self.num_envs)]
+        if isinstance(self.single_action_space, (Box,)):
+            return np.stack(actions)
+        if isinstance(self.single_action_space, Discrete):
+            return np.asarray(actions, dtype=np.int64)
+        return np.asarray(actions, dtype=object)
+
+    def close(self) -> None:
+        for env in self.envs:
+            env.close()
+
+    def __len__(self) -> int:
+        return self.num_envs
+
+    def __repr__(self) -> str:
+        return f"SyncVectorEnv(num_envs={self.num_envs})"

@@ -1,0 +1,576 @@
+"""Framework back-ends: the common training machinery.
+
+The paper compares three frameworks (Ray RLlib, Stable Baselines,
+TF-Agents) that share algorithms but differ *structurally*:
+
+* where environment workers run (how many nodes, how many per node);
+* whether experience and weights cross the network;
+* how fresh the acting policy is on remote workers (RLlib's distributed
+  actors sample with slightly stale weights — the §VI-D reproducibility
+  effect);
+* per-step and per-update efficiency constants.
+
+:class:`Framework` implements PPO and SAC training loops once,
+parameterized by a :class:`WorkerLayout` the concrete back-ends provide.
+While the *learning* runs for real on the host (scaled step budget), every
+operation is simultaneously charged to the discrete-event cluster
+simulator, yielding the virtual Computation Time and the energy the
+methodology's metrics consume.
+"""
+
+from __future__ import annotations
+
+import zlib
+from dataclasses import dataclass, field, replace
+from typing import Any, Callable
+
+import numpy as np
+
+from ..cluster import (
+    ClusterSimulator,
+    ClusterSpec,
+    CPUPowerModel,
+    Trace,
+    energy_from_trace,
+    paper_testbed,
+)
+from ..envs import Env, make
+from ..rl import PPOAgent, PPOConfig, SACAgent, SACConfig
+from .costmodel import CostModel, FrameworkCostProfile
+
+__all__ = ["TrainSpec", "TrainResult", "WorkerLayout", "Framework"]
+
+
+@dataclass(frozen=True)
+class TrainSpec:
+    """One learning configuration to execute (a Table I row)."""
+
+    algorithm: str = "ppo"              # "ppo" | "sac"
+    n_nodes: int = 1
+    cores_per_node: int = 4
+    seed: int = 0
+    env_id: str = "Airdrop-v0"
+    env_kwargs: dict[str, Any] = field(default_factory=dict)
+    #: real environment steps executed on the host (scaled budget)
+    total_steps: int = 20_000
+    #: the budget the virtual clock reports at (the paper's 200k)
+    paper_steps: int = 200_000
+    #: PPO samples per update, split across workers (RLlib's
+    #: ``train_batch_size`` semantics — the update count stays constant
+    #: when the worker count changes)
+    train_batch_size: int = 1024
+    eval_episodes: int = 30
+    ppo: PPOConfig = field(default_factory=PPOConfig)
+    sac: SACConfig = field(default_factory=SACConfig)
+
+    def __post_init__(self) -> None:
+        if self.algorithm not in ("ppo", "sac"):
+            raise ValueError("algorithm must be 'ppo' or 'sac'")
+        if self.n_nodes < 1 or self.cores_per_node < 1:
+            raise ValueError("n_nodes and cores_per_node must be >= 1")
+        if self.total_steps < 1 or self.paper_steps < 1:
+            raise ValueError("step budgets must be positive")
+        if self.train_batch_size < 1:
+            raise ValueError("train_batch_size must be positive")
+
+    @property
+    def rk_order(self) -> int:
+        return int(self.env_kwargs.get("rk_order", 5))
+
+    def scaled(self, total_steps: int) -> "TrainSpec":
+        """The same configuration with a different real step budget."""
+        return replace(self, total_steps=int(total_steps))
+
+
+@dataclass
+class TrainResult:
+    """Everything one training run produces."""
+
+    framework: str
+    spec: TrainSpec
+    #: the paper's Reward metric: mean landing score over the last
+    #: training episodes (the reward the learning run itself collects)
+    reward: float
+    #: deterministic post-training evaluation (diagnostic)
+    eval_reward: float
+    #: virtual wall time at paper scale (seconds)
+    computation_time_s: float
+    #: energy at paper scale (kilojoules)
+    energy_kj: float
+    trace: Trace
+    #: (real env steps, mean recent landing) checkpoints
+    learning_curve: list[tuple[int, float]] = field(default_factory=list)
+    diagnostics: dict[str, float] = field(default_factory=dict)
+
+    @property
+    def computation_time_min(self) -> float:
+        return self.computation_time_s / 60.0
+
+
+@dataclass(frozen=True)
+class WorkerLayout:
+    """How a framework places environment workers on the cluster.
+
+    ``worker_nodes[i]`` is the node index running worker ``i``; workers on
+    node > 0 are *remote* (their experience crosses the link and, when
+    ``stale_remote_policy``, they act with one-iteration-old weights).
+    """
+
+    worker_nodes: tuple[int, ...]
+    learner_node: int = 0
+    stale_remote_policy: bool = False
+    ships_experience: bool = False
+
+    @property
+    def n_workers(self) -> int:
+        return len(self.worker_nodes)
+
+    def groups(self) -> dict[int, list[int]]:
+        """Map node index → worker indices on that node."""
+        out: dict[int, list[int]] = {}
+        for worker, node in enumerate(self.worker_nodes):
+            out.setdefault(node, []).append(worker)
+        return out
+
+
+def _action_mapper(env: Env):
+    """Map the policy's ``[-1, 1]`` outputs onto the env's Box bounds.
+
+    The agents always emit unit-scaled actions; environments may use other
+    ranges (e.g. the pendulum's ±2 N·m torque). Unbounded dimensions pass
+    through unchanged.
+    """
+    space = env.action_space
+    low = np.asarray(getattr(space, "low", -1.0), dtype=np.float64)
+    high = np.asarray(getattr(space, "high", 1.0), dtype=np.float64)
+    bounded = np.isfinite(low) & np.isfinite(high)
+    low_b = np.where(bounded, low, -1.0)
+    high_b = np.where(bounded, high, 1.0)
+
+    def mapper(action: np.ndarray) -> np.ndarray:
+        unit = np.clip(np.asarray(action, dtype=np.float64), -1.0, 1.0)
+        scaled = low_b + (unit + 1.0) * 0.5 * (high_b - low_b)
+        return np.where(bounded, scaled, unit)
+
+    return mapper
+
+
+class _Worker:
+    """One environment instance plus its episode bookkeeping."""
+
+    def __init__(self, env: Env, seed: int) -> None:
+        self.env = env
+        self.obs, _ = env.reset(seed=seed)
+        self.map_action = _action_mapper(env)
+        self.episode_return = 0.0
+
+    def step(self, action: np.ndarray) -> tuple[np.ndarray, float, bool, bool, dict]:
+        obs, reward, term, trunc, info = self.env.step(self.map_action(action))
+        self.episode_return += float(reward)
+        return obs, reward, term, trunc, info
+
+    def episode_score(self, info: dict) -> float:
+        """Episode quality: the landing score for the airdrop study, the
+        plain episode return for any other environment."""
+        score = float(info.get("landing_score", self.episode_return))
+        self.episode_return = 0.0
+        return score
+
+
+class Framework:
+    """Base class for the three framework back-ends."""
+
+    #: human-readable framework name (subclasses override)
+    name: str = "framework"
+    #: whether the back-end can spread workers over several nodes
+    supports_multi_node: bool = False
+    #: cost constants of the back-end
+    profile: FrameworkCostProfile
+
+    def __init__(
+        self,
+        cluster: ClusterSpec | None = None,
+        cost_model: CostModel | None = None,
+        power_model: CPUPowerModel | None = None,
+    ) -> None:
+        self.cluster = cluster or paper_testbed(2)
+        self.cost_model = cost_model or CostModel()
+        self.power_model = power_model or CPUPowerModel()
+
+    #: framework-default PPO overrides, applied only when the spec carries
+    #: the stock :class:`PPOConfig` (real frameworks ship different
+    #: defaults — TF-Agents runs fewer SGD epochs, RLlib trains on larger
+    #: batches — and the paper ran each framework at its defaults)
+    ppo_defaults: dict[str, Any] = {}
+    #: multiplier on the spec's train batch (RLlib defaults to larger
+    #: train batches than the single-node frameworks)
+    batch_multiplier: int = 1
+
+    # ------------------------------------------------------------- layout
+    def layout(self, spec: TrainSpec) -> WorkerLayout:
+        """Worker placement for ``spec``; subclasses override."""
+        raise NotImplementedError
+
+    def effective_ppo(self, spec: TrainSpec) -> PPOConfig:
+        """The PPO configuration this back-end actually runs.
+
+        Framework defaults apply only when the user left the stock config;
+        an explicit config is honoured verbatim.
+        """
+        if spec.ppo == PPOConfig() and self.ppo_defaults:
+            return replace(spec.ppo, **self.ppo_defaults)
+        return spec.ppo
+
+    def effective_batch(self, spec: TrainSpec) -> int:
+        return spec.train_batch_size * self.batch_multiplier
+
+    def _seed(self, spec: TrainSpec, stream: str) -> int:
+        """Deterministic per-(framework, spec-seed, stream) seed."""
+        key = f"{self.name}/{spec.seed}/{stream}".encode()
+        return zlib.crc32(key) & 0x7FFFFFFF
+
+    def validate(self, spec: TrainSpec) -> None:
+        if spec.n_nodes > 1 and not self.supports_multi_node:
+            raise ValueError(
+                f"{self.name} parallelizes on a single node; n_nodes={spec.n_nodes} "
+                "is only supported by the distributed (RLlib-like) back-end"
+            )
+        if spec.n_nodes > self.cluster.n_nodes:
+            raise ValueError(
+                f"configuration wants {spec.n_nodes} nodes but the cluster has "
+                f"{self.cluster.n_nodes}"
+            )
+        for node in range(spec.n_nodes):
+            if spec.cores_per_node > self.cluster.nodes[node].n_cores:
+                raise ValueError(
+                    f"configuration wants {spec.cores_per_node} cores but node "
+                    f"{node} has {self.cluster.nodes[node].n_cores}"
+                )
+
+    # -------------------------------------------------------------- train
+    def train(
+        self,
+        spec: TrainSpec,
+        callback: Callable[[int, float], bool] | None = None,
+    ) -> TrainResult:
+        """Execute one learning configuration end to end.
+
+        ``callback(real_steps, recent_reward)`` is invoked at every
+        learning-curve checkpoint; returning ``True`` stops the run early
+        (the pruning hook of §III-C).
+        """
+        self.validate(spec)
+        if spec.algorithm == "ppo":
+            return self._train_ppo(spec, callback)
+        return self._train_sac(spec, callback)
+
+    # ---------------------------------------------------------------- PPO
+    def _train_ppo(
+        self,
+        spec: TrainSpec,
+        callback: Callable[[int, float], bool] | None = None,
+    ) -> TrainResult:
+        layout = self.layout(spec)
+        groups = layout.groups()
+        n_workers = layout.n_workers
+        workers = [
+            _Worker(make(spec.env_id, **spec.env_kwargs), seed=self._seed(spec, f"env{i}"))
+            for i in range(n_workers)
+        ]
+        probe_env = workers[0].env
+        obs_dim = int(np.prod(probe_env.observation_space.shape))
+        act_dim = int(np.prod(probe_env.action_space.shape))
+        n_stages = getattr(probe_env.unwrapped, "rhs_evals_per_step", 6)
+
+        ppo_config = self.effective_ppo(spec)
+        agent = PPOAgent(obs_dim, act_dim, ppo_config, seed=self._seed(spec, "agent"))
+        fragment = max(32, self.effective_batch(spec) // n_workers)
+        buffer = agent.make_buffer(fragment, n_workers)
+
+        sim = ClusterSimulator(self.cluster)
+        env_step_s = self.cost_model.env_step_s(n_stages, 1, self.profile)
+        landings: list[float] = []
+        curve: list[tuple[int, float]] = []
+
+        # Policy snapshots for staleness: remote groups act with the
+        # snapshot taken one update earlier than the local group.
+        fresh_state = agent.policy_state()
+        stale_state = agent.policy_state()
+
+        prev_update_task = None
+        prev_bcasts: dict[int, Any] = {}
+        steps_done = 0
+        iteration = 0
+        while steps_done < spec.total_steps:
+            buffer.reset()
+            # ---- real rollout collection (lockstep over workers, grouped
+            # by acting-policy version)
+            current_state = agent.policy_state()
+            for t in range(fragment):
+                obs_batch = np.stack([w.obs for w in workers])
+                actions = np.zeros((n_workers, act_dim))
+                log_probs = np.zeros(n_workers)
+                values = np.zeros(n_workers)
+                for node, members in groups.items():
+                    use_stale = layout.stale_remote_policy and node != layout.learner_node
+                    agent.load_policy_state(stale_state if use_stale else current_state)
+                    out = agent.act(obs_batch[members])
+                    actions[members] = out["action"]
+                    log_probs[members] = out["log_prob"]
+                    values[members] = out["value"]
+                rewards = np.zeros(n_workers)
+                terms = np.zeros(n_workers, dtype=bool)
+                truncs = np.zeros(n_workers, dtype=bool)
+                boots = np.zeros(n_workers)
+                next_obs = np.zeros_like(obs_batch)
+                for i, w in enumerate(workers):
+                    o, r, term, trunc, info = w.step(actions[i])
+                    rewards[i] = r
+                    terms[i] = term
+                    truncs[i] = trunc
+                    if term or trunc:
+                        landings.append(w.episode_score(info))
+                        if trunc and not term:
+                            boots[i] = agent.value(o[None])[0]
+                        o, _ = w.env.reset()
+                    w.obs = o
+                    next_obs[i] = o
+                buffer.add(obs_batch, actions, log_probs, rewards, values, terms, truncs, boots)
+            last_values = np.zeros(n_workers)
+            for node, members in groups.items():
+                use_stale = layout.stale_remote_policy and node != layout.learner_node
+                agent.load_policy_state(stale_state if use_stale else current_state)
+                last_values[members] = agent.value(np.stack([workers[i].obs for i in members]))
+            buffer.finish(last_values)
+            agent.load_policy_state(current_state)
+
+            # shift staleness window: what was fresh is now stale
+            stale_state = fresh_state
+            fresh_state = current_state
+
+            agent.update(buffer)
+            steps_done += fragment * n_workers
+
+            # ---- virtual execution DAG for this iteration
+            learner = layout.learner_node
+            actor_tasks = []
+            transfer_tasks = []
+            for node, members in groups.items():
+                if node == learner:
+                    deps = [prev_update_task] if prev_update_task else []
+                else:
+                    deps = [prev_bcasts[node]] if node in prev_bcasts else []
+                for i in members:
+                    actor_tasks.append(
+                        sim.task(
+                            f"rollout[{iteration}]w{i}",
+                            node,
+                            duration=fragment * env_step_s
+                            / self.cluster.nodes[node].core_speed,
+                            cores=1,
+                            deps=deps,
+                        )
+                    )
+                if layout.ships_experience and node != learner:
+                    node_tasks = [t for t in actor_tasks if t.node == node]
+                    transfer_tasks.append(
+                        sim.transfer(
+                            f"experience[{iteration}]n{node}",
+                            node,
+                            learner,
+                            n_bytes=len(members) * fragment * self.cost_model.transition_bytes,
+                            deps=node_tasks,
+                        )
+                    )
+            update_deps = [t for t in actor_tasks if t.node == learner] + transfer_tasks
+            if not update_deps:
+                update_deps = actor_tasks
+            batch = fragment * n_workers
+            update_task = sim.task(
+                f"ppo_update[{iteration}]",
+                learner,
+                duration=self.cost_model.ppo_update_s(
+                    batch,
+                    ppo_config.n_epochs,
+                    spec.cores_per_node,
+                    self.profile,
+                    self.cluster.nodes[learner].core_speed,
+                )
+                + self.profile.iteration_overhead_s,
+                cores=spec.cores_per_node,
+                deps=update_deps,
+            )
+            prev_update_task = update_task
+            prev_bcasts = {
+                node: sim.transfer(
+                    f"weights[{iteration}]n{node}",
+                    learner,
+                    node,
+                    n_bytes=self.cost_model.weights_bytes,
+                    deps=[update_task],
+                )
+                for node in groups
+                if node != learner
+            }
+
+            iteration += 1
+            if landings:
+                checkpoint = float(np.mean(landings[-40:]))
+                curve.append((steps_done, checkpoint))
+                if callback is not None and callback(steps_done, checkpoint):
+                    break
+
+        trace = sim.run()
+        return self._finalize(spec, agent, trace, landings, curve, steps_done, layout)
+
+    # ---------------------------------------------------------------- SAC
+    def _train_sac(
+        self,
+        spec: TrainSpec,
+        callback: Callable[[int, float], bool] | None = None,
+    ) -> TrainResult:
+        layout = self.layout(spec)
+        sampler_node = max(layout.groups())  # sampling lives on the last node
+        learner = layout.learner_node
+
+        env = make(spec.env_id, **spec.env_kwargs)
+        obs_dim = int(np.prod(env.observation_space.shape))
+        act_dim = int(np.prod(env.action_space.shape))
+        n_stages = getattr(env.unwrapped, "rhs_evals_per_step", 6)
+        agent = SACAgent(obs_dim, act_dim, spec.sac, seed=self._seed(spec, "agent"))
+
+        sim = ClusterSimulator(self.cluster)
+        env_step_s = self.cost_model.env_step_s(n_stages, 1, self.profile)
+        landings: list[float] = []
+        curve: list[tuple[int, float]] = []
+
+        obs, _ = env.reset(seed=self._seed(spec, "env"))
+        map_action = _action_mapper(env)
+        episode_return = 0.0
+        block = 100  # env steps per virtual task block
+        prev_task = None
+        steps_done = 0
+        block_updates = 0
+        block_start = 0
+        iteration = 0
+        while steps_done < spec.total_steps:
+            out = agent.act(obs[None])
+            action = np.clip(out["action"][0], -1.0, 1.0)
+            next_obs, reward, term, trunc, info = env.step(map_action(action))
+            episode_return += float(reward)
+            agent.observe(obs, action, float(reward), next_obs, bool(term))
+            if term or trunc:
+                landings.append(float(info.get("landing_score", episode_return)))
+                episode_return = 0.0
+                next_obs, _ = env.reset()
+            obs = next_obs
+            steps_done += 1
+            if agent.ready_to_update():
+                agent.update()
+                block_updates += spec.sac.updates_per_step
+
+            if steps_done - block_start >= block or steps_done >= spec.total_steps:
+                n_steps = steps_done - block_start
+                sample_task = sim.task(
+                    f"sac_sample[{iteration}]",
+                    sampler_node,
+                    duration=n_steps * env_step_s
+                    / self.cluster.nodes[sampler_node].core_speed,
+                    cores=1,
+                    deps=[prev_task] if prev_task else [],
+                )
+                deps: list[Any] = [sample_task]
+                if layout.ships_experience and sampler_node != learner:
+                    deps = [
+                        sim.transfer(
+                            f"sac_experience[{iteration}]",
+                            sampler_node,
+                            learner,
+                            n_bytes=n_steps * self.cost_model.transition_bytes,
+                            deps=[sample_task],
+                        )
+                    ]
+                if block_updates:
+                    prev_task = sim.task(
+                        f"sac_update[{iteration}]",
+                        learner,
+                        duration=self.cost_model.sac_updates_s(
+                            block_updates,
+                            spec.cores_per_node,
+                            self.profile,
+                            self.cluster.nodes[learner].core_speed,
+                        ),
+                        cores=spec.cores_per_node,
+                        deps=deps,
+                    )
+                else:
+                    prev_task = sample_task
+                block_updates = 0
+                block_start = steps_done
+                iteration += 1
+                if landings:
+                    checkpoint = float(np.mean(landings[-40:]))
+                    curve.append((steps_done, checkpoint))
+                    if callback is not None and callback(steps_done, checkpoint):
+                        break
+
+        trace = sim.run()
+        return self._finalize(spec, agent, trace, landings, curve, steps_done, layout)
+
+    # ------------------------------------------------------------ shared
+    def _finalize(
+        self,
+        spec: TrainSpec,
+        agent: PPOAgent | SACAgent,
+        trace: Trace,
+        landings: list[float],
+        curve: list[tuple[int, float]],
+        steps_done: int,
+        layout: WorkerLayout,
+    ) -> TrainResult:
+        eval_reward = self._evaluate(spec, agent)
+        scale = spec.paper_steps / max(steps_done, 1)
+        virtual_time = trace.makespan * scale
+        nodes_used = sorted(set(layout.worker_nodes) | {layout.learner_node})
+        energy = energy_from_trace(
+            trace, self.cluster, self.power_model, nodes_allocated=nodes_used
+        )
+        reward = float(np.mean(landings[-50:])) if landings else -10.0
+        diagnostics = {
+            "episodes": float(len(landings)),
+            "real_steps": float(steps_done),
+            "scale": float(scale),
+            "makespan_unscaled_s": trace.makespan,
+            "mean_power_w": energy.mean_power_w,
+            "bytes_transferred": trace.bytes_transferred(),
+        }
+        return TrainResult(
+            framework=self.name,
+            spec=spec,
+            reward=reward,
+            eval_reward=eval_reward,
+            computation_time_s=virtual_time,
+            energy_kj=energy.total_kilojoules * scale,
+            trace=trace,
+            learning_curve=curve,
+            diagnostics=diagnostics,
+        )
+
+    def _evaluate(self, spec: TrainSpec, agent: PPOAgent | SACAgent) -> float:
+        """Deterministic post-training evaluation (the Reward metric)."""
+        env = make(spec.env_id, **spec.env_kwargs)
+        map_action = _action_mapper(env)
+        scores = []
+        for episode in range(spec.eval_episodes):
+            obs, _ = env.reset(seed=1_000_000 + episode)
+            done = False
+            score = None
+            episode_return = 0.0
+            while not done:
+                action = agent.act(obs[None], deterministic=True)["action"][0]
+                obs, reward, term, trunc, info = env.step(map_action(action))
+                episode_return += float(reward)
+                done = term or trunc
+                score = info.get("landing_score", score)
+            scores.append(score if score is not None else episode_return)
+        return float(np.mean(scores))

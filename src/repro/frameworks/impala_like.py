@@ -1,0 +1,238 @@
+"""IMPALA-like asynchronous actor-learner back-end (§II-A extension).
+
+The paper's background motivates distributed RL with A3C, IMPALA and
+Ape-X. This extension back-end reproduces the IMPALA architecture on the
+simulated testbed:
+
+* actors on every allocated node sample continuously with weights that
+  lag the learner by *two* update rounds (the defining IMPALA property:
+  acting and learning are fully decoupled);
+* the learner performs a **single** V-trace-corrected gradient pass per
+  trajectory batch (no PPO epochs), making updates cheap;
+* on the virtual cluster, actor sampling at iteration ``k`` depends only
+  on the weight broadcast of iteration ``k−2`` — sampling and learning
+  overlap, so the critical path is the *max* of the two phases rather
+  than their sum.
+
+The trade-off mirrors the paper's §VI-D observation taken further: better
+hardware efficiency, more off-policy lag, lower final reward — quantified
+in ``benchmarks/test_bench_impala.py``.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+import numpy as np
+
+from ..cluster import ClusterSimulator
+from ..envs import make
+from ..rl.vtrace import VTraceAgent, VTraceConfig
+from .base import Framework, TrainResult, TrainSpec, WorkerLayout, _Worker
+from .costmodel import FrameworkCostProfile
+
+__all__ = ["ImpalaLike"]
+
+#: IMPALA's graph-compiled learner and lighter per-step acting path
+IMPALA_PROFILE = FrameworkCostProfile(
+    step_overhead_s=38.0e-3,
+    update_parallel_eff=0.85,
+    iteration_overhead_s=0.15,
+)
+
+
+class ImpalaLike(Framework):
+    """IMPALA-style asynchronous distributed execution with V-trace."""
+
+    name = "impala"
+    supports_multi_node = True
+    profile = IMPALA_PROFILE
+
+    #: how many update rounds the actors' weights lag the learner
+    policy_lag = 2
+    #: IMPALA trains on small trajectory batches with a hotter learning
+    #: rate than PPO (one gradient pass per batch instead of epochs)
+    batch_divisor = 8
+    default_learning_rate = 3e-3
+
+    def effective_batch(self, spec: TrainSpec) -> int:
+        return max(64, spec.train_batch_size // self.batch_divisor)
+
+    def layout(self, spec: TrainSpec) -> WorkerLayout:
+        worker_nodes: list[int] = []
+        for node in range(spec.n_nodes):
+            worker_nodes.extend([node] * spec.cores_per_node)
+        return WorkerLayout(
+            worker_nodes=tuple(worker_nodes),
+            learner_node=0,
+            stale_remote_policy=True,
+            ships_experience=True,
+        )
+
+    def validate(self, spec: TrainSpec) -> None:
+        super().validate(spec)
+        if spec.algorithm != "ppo":
+            raise ValueError(
+                "the IMPALA-like back-end implements its own V-trace actor-critic; "
+                "request algorithm='ppo' (the on-policy slot) to use it"
+            )
+
+    def train(
+        self,
+        spec: TrainSpec,
+        callback: Callable[[int, float], bool] | None = None,
+    ) -> TrainResult:
+        self.validate(spec)
+        return self._train_vtrace(spec, callback)
+
+    # --------------------------------------------------------------- loop
+    def _train_vtrace(
+        self,
+        spec: TrainSpec,
+        callback: Callable[[int, float], bool] | None = None,
+    ) -> TrainResult:
+        layout = self.layout(spec)
+        groups = layout.groups()
+        n_workers = layout.n_workers
+        workers = [
+            _Worker(make(spec.env_id, **spec.env_kwargs), seed=self._seed(spec, f"env{i}"))
+            for i in range(n_workers)
+        ]
+        probe = workers[0].env
+        obs_dim = int(np.prod(probe.observation_space.shape))
+        act_dim = int(np.prod(probe.action_space.shape))
+        n_stages = getattr(probe.unwrapped, "rhs_evals_per_step", 6)
+
+        from ..rl import PPOConfig
+
+        lr = (
+            self.default_learning_rate
+            if spec.ppo == PPOConfig()
+            else spec.ppo.learning_rate
+        )
+        agent = VTraceAgent(
+            obs_dim,
+            act_dim,
+            VTraceConfig(gamma=spec.ppo.gamma, learning_rate=lr),
+            seed=self._seed(spec, "agent"),
+        )
+        fragment = max(32, self.effective_batch(spec) // n_workers)
+
+        sim = ClusterSimulator(self.cluster)
+        env_step_s = self.cost_model.env_step_s(n_stages, 1, self.profile)
+        landings: list[float] = []
+        curve: list[tuple[int, float]] = []
+
+        # behaviour snapshots: a queue of past policy states
+        snapshots = [agent.policy_state() for _ in range(self.policy_lag + 1)]
+
+        prev_updates: list[Any] = []
+        prev_bcasts: list[dict[int, Any]] = []
+        steps_done = 0
+        iteration = 0
+        while steps_done < spec.total_steps:
+            behaviour_state = snapshots[0]
+            current_state = agent.policy_state()
+            agent.load_policy_state(behaviour_state)
+
+            T, N = fragment, n_workers
+            obs_buf = np.zeros((T, N, obs_dim))
+            act_buf = np.zeros((T, N, act_dim))
+            rew_buf = np.zeros((T, N))
+            term_buf = np.zeros((T, N))
+            logp_buf = np.zeros((T, N))
+            for t in range(T):
+                obs_batch = np.stack([w.obs for w in workers])
+                out = agent.act(obs_batch)
+                obs_buf[t] = obs_batch
+                act_buf[t] = out["action"]
+                logp_buf[t] = out["log_prob"]
+                for i, w in enumerate(workers):
+                    o, r, term, trunc, info = w.step(out["action"][i])
+                    rew_buf[t, i] = r
+                    term_buf[t, i] = float(term or trunc)
+                    if term or trunc:
+                        landings.append(w.episode_score(info))
+                        o, _ = w.env.reset()
+                    w.obs = o
+            bootstrap_obs = np.stack([w.obs for w in workers])
+
+            agent.load_policy_state(current_state)
+            agent.update(obs_buf, act_buf, rew_buf, term_buf, logp_buf, bootstrap_obs)
+            snapshots.append(agent.policy_state())
+            snapshots.pop(0)
+            steps_done += T * N
+
+            # ---- virtual DAG: actors depend on the lag-2 broadcast only
+            lag_index = iteration - self.policy_lag
+            actor_tasks = []
+            transfer_tasks = []
+            for node, members in groups.items():
+                if lag_index >= 0:
+                    if node == layout.learner_node:
+                        deps = [prev_updates[lag_index]]
+                    else:
+                        deps = [prev_bcasts[lag_index][node]]
+                else:
+                    deps = []
+                for i in members:
+                    actor_tasks.append(
+                        sim.task(
+                            f"impala_rollout[{iteration}]w{i}",
+                            node,
+                            duration=fragment * env_step_s
+                            / self.cluster.nodes[node].core_speed,
+                            cores=1,
+                            deps=deps,
+                        )
+                    )
+                if node != layout.learner_node:
+                    node_tasks = [t for t in actor_tasks if t.node == node]
+                    transfer_tasks.append(
+                        sim.transfer(
+                            f"impala_experience[{iteration}]n{node}",
+                            node,
+                            layout.learner_node,
+                            n_bytes=len(members) * fragment * self.cost_model.transition_bytes,
+                            deps=node_tasks,
+                        )
+                    )
+            update_deps = [t for t in actor_tasks if t.node == layout.learner_node]
+            update_deps += transfer_tasks
+            if prev_updates:
+                update_deps.append(prev_updates[-1])  # the learner itself is serial
+            update_task = sim.task(
+                f"impala_update[{iteration}]",
+                layout.learner_node,
+                duration=self.cost_model.ppo_update_s(
+                    T * N, 1, spec.cores_per_node, self.profile,
+                    self.cluster.nodes[layout.learner_node].core_speed,
+                )
+                + self.profile.iteration_overhead_s,
+                cores=spec.cores_per_node,
+                deps=update_deps,
+            )
+            prev_updates.append(update_task)
+            prev_bcasts.append(
+                {
+                    node: sim.transfer(
+                        f"impala_weights[{iteration}]n{node}",
+                        layout.learner_node,
+                        node,
+                        n_bytes=self.cost_model.weights_bytes,
+                        deps=[update_task],
+                    )
+                    for node in groups
+                    if node != layout.learner_node
+                }
+            )
+
+            iteration += 1
+            if landings:
+                checkpoint = float(np.mean(landings[-40:]))
+                curve.append((steps_done, checkpoint))
+                if callback is not None and callback(steps_done, checkpoint):
+                    break
+
+        trace = sim.run()
+        return self._finalize(spec, agent, trace, landings, curve, steps_done, layout)

@@ -1,0 +1,32 @@
+"""Single-node vectorized back-end (the paper's Stable Baselines).
+
+Stable Baselines "provides parallelized environments through
+vectorization" (§V-b): one vectorized environment per allocated CPU core,
+all on a single machine, stepping in lockstep; the learner update runs on
+the same cores afterwards. No network traffic, no policy staleness — the
+freshest on-policy data of the three back-ends, which is why the paper's
+best rewards (solutions 14 and 16) come from this framework.
+"""
+
+from __future__ import annotations
+
+from .base import Framework, TrainSpec, WorkerLayout
+from .costmodel import STABLE_PROFILE
+
+__all__ = ["StableBaselinesLike"]
+
+
+class StableBaselinesLike(Framework):
+    """Stable-Baselines-style single-node vectorized execution."""
+
+    name = "stable"
+    supports_multi_node = False
+    profile = STABLE_PROFILE
+
+    def layout(self, spec: TrainSpec) -> WorkerLayout:
+        return WorkerLayout(
+            worker_nodes=tuple([0] * spec.cores_per_node),
+            learner_node=0,
+            stale_remote_policy=False,
+            ships_experience=False,
+        )

@@ -1,0 +1,35 @@
+"""Single-node parallel-driver back-end (the paper's TF-Agents).
+
+TF-Agents parallelizes training "on a single node, using multiple CPUs"
+(§V-b) through parallel drivers feeding a graph-compiled learner. The
+structural layout matches the Stable-Baselines back-end (one worker per
+core, one node); the difference is the cost profile: the compiled update
+path parallelizes better, making this the most power-efficient back-end —
+the paper's solution 11 (one node, four cores) is the minimum-energy
+configuration at 120 kJ.
+"""
+
+from __future__ import annotations
+
+from .base import Framework, TrainSpec, WorkerLayout
+from .costmodel import TFAGENTS_PROFILE
+
+__all__ = ["TFAgentsLike"]
+
+
+class TFAgentsLike(Framework):
+    """TF-Agents-style single-node parallel execution."""
+
+    name = "tfagents"
+    supports_multi_node = False
+    profile = TFAGENTS_PROFILE
+    #: TF-Agents' stock PPO runs fewer optimizer epochs per batch
+    ppo_defaults = {"n_epochs": 6}
+
+    def layout(self, spec: TrainSpec) -> WorkerLayout:
+        return WorkerLayout(
+            worker_nodes=tuple([0] * spec.cores_per_node),
+            learner_node=0,
+            stale_remote_policy=False,
+            ships_experience=False,
+        )

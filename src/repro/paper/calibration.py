@@ -1,0 +1,115 @@
+"""Calibration of the virtual testbed against the paper's reported numbers.
+
+The paper reports five usable timing anchors and two energy anchors:
+
+======== ========================== ============= =========
+solution configuration              time          energy
+======== ========================== ============= =========
+2        RLlib  PPO RK3 2n × 4c     46 min        201 kJ
+5        RLlib  PPO RK5 2n × 4c     49 min        201 kJ
+7        RLlib  PPO RK8 1n × 4c     85 min        —
+11       TFA    PPO RK3 1n × 4c     49 min        120 kJ
+16       SB     PPO RK8 1n × 4c     65 min        —
+======== ========================== ============= =========
+
+Closing the fit analytically (200k steps, per-actor sequential steps =
+200k / n_workers):
+
+* sols 2→5 differ by three RK stages over 25k sequential steps:
+  ``(49−46)·60 s = 25k · 3 · rk_stage_s`` → **rk_stage_s = 2.4 ms**;
+* sols 2 and 7 then pin RLlib's per-step overhead at **43.2 ms** and the
+  learner at ≈1500 s (→ ``ppo_update_per_sample_s = 2.1 ms`` at 70 %
+  4-core efficiency);
+* sols 11 and 16 pin the single-node frameworks at **30 ms**/step with
+  their respective learner efficiencies;
+* the two energy anchors (120 kJ at ~100 % utilization on one node,
+  201 kJ across a hot learner node plus a ~46 %-busy actor node) pin the
+  power curve at **idle ≈ 13 W, dynamic ≈ 28 W** per node.
+
+This module re-derives the predicted anchor values from the constants so
+a unit test can fail loudly if anyone drifts the calibration.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..cluster import CPUPowerModel
+from ..frameworks.costmodel import (
+    RLLIB_PROFILE,
+    STABLE_PROFILE,
+    TFAGENTS_PROFILE,
+    CostModel,
+    FrameworkCostProfile,
+)
+
+__all__ = ["Scale", "PAPER_ANCHORS", "predict_anchor_minutes", "DEFAULT_SCALE"]
+
+
+@dataclass(frozen=True)
+class Scale:
+    """Step-budget scaling between the host run and the paper's campaign."""
+
+    #: real env steps the host executes per training run
+    real_steps: int = 20_000
+    #: the budget the paper trained for (virtual clock reports at this scale)
+    paper_steps: int = 200_000
+
+    def __post_init__(self) -> None:
+        if self.real_steps < 1 or self.paper_steps < 1:
+            raise ValueError("step budgets must be positive")
+
+    @property
+    def factor(self) -> float:
+        return self.paper_steps / self.real_steps
+
+
+DEFAULT_SCALE = Scale()
+
+#: paper anchor values: solution id -> (framework, rk, nodes, cores,
+#: minutes, kilojoules-or-None)
+PAPER_ANCHORS: dict[int, tuple[str, int, int, int, float, float | None]] = {
+    2: ("rllib", 3, 2, 4, 46.0, 201.0),
+    5: ("rllib", 5, 2, 4, 49.0, 201.0),
+    7: ("rllib", 8, 1, 4, 85.0, None),
+    11: ("tfagents", 3, 1, 4, 49.0, 120.0),
+    16: ("stable", 8, 1, 4, 65.0, None),
+}
+
+_PROFILES: dict[str, FrameworkCostProfile] = {
+    "rllib": RLLIB_PROFILE,
+    "stable": STABLE_PROFILE,
+    "tfagents": TFAGENTS_PROFILE,
+}
+
+_STAGES = {3: 3, 5: 6, 8: 12}
+
+#: effective PPO epochs each framework runs at its defaults
+_EPOCHS = {"rllib": 10, "stable": 10, "tfagents": 6}
+
+
+def predict_anchor_minutes(
+    solution: int,
+    cost: CostModel | None = None,
+    paper_steps: int = 200_000,
+) -> float:
+    """Closed-form anchor prediction from the calibration constants.
+
+    Sampling and the learner update alternate without overlap on the
+    critical path (the fully synchronous case); the small pipelining gain
+    of the 2-node deployments and per-iteration overheads are neglected
+    here, so predictions land within a few percent of the simulated runs.
+    """
+    cost = cost or CostModel()
+    framework, rk, nodes, cores, _, _ = PAPER_ANCHORS[solution]
+    profile = _PROFILES[framework]
+    n_workers = nodes * cores
+    sequential_steps = paper_steps / n_workers
+    sampling_s = sequential_steps * cost.env_step_s(_STAGES[rk], 1, profile)
+    update_s = cost.ppo_update_s(paper_steps, _EPOCHS[framework], cores, profile)
+    return (sampling_s + update_s) / 60.0
+
+
+def default_power_model() -> CPUPowerModel:
+    """The calibrated per-node consumption curve."""
+    return CPUPowerModel(idle_w=13.0, dynamic_w=28.0, alpha=1.0)

@@ -1,0 +1,81 @@
+"""Figure 4/5/6 extraction and paper-vs-measured comparison helpers.
+
+Each figure in the paper is a two-metric Pareto front over the Table I
+results:
+
+* Figure 4 — Reward vs Computation Time (paper front: {2, 5, 11, 16});
+* Figure 5 — Power Consumption vs Computation Time (paper: {2, 5, 11});
+* Figure 6 — Reward vs Power Consumption (paper: {11, 14, 16}).
+
+:func:`figure_front` recomputes a front from a finished campaign report;
+:func:`compare_front` scores the overlap against the paper's highlight
+set (the *shape* criterion of the reproduction).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core import DecisionReport
+
+__all__ = ["PAPER_FRONTS", "FigureComparison", "figure_front", "compare_front", "compare_all"]
+
+#: figure name -> (metric pair, paper's non-dominated solution ids)
+PAPER_FRONTS: dict[str, tuple[tuple[str, str], frozenset[int]]] = {
+    "fig4": (("reward", "computation_time"), frozenset({2, 5, 11, 16})),
+    "fig5": (("power_consumption", "computation_time"), frozenset({2, 5, 11})),
+    "fig6": (("reward", "power_consumption"), frozenset({11, 14, 16})),
+}
+
+
+@dataclass(frozen=True)
+class FigureComparison:
+    """Overlap between a measured front and the paper's front."""
+
+    figure: str
+    measured: frozenset[int]
+    paper: frozenset[int]
+
+    @property
+    def intersection(self) -> frozenset[int]:
+        return self.measured & self.paper
+
+    @property
+    def jaccard(self) -> float:
+        union = self.measured | self.paper
+        if not union:
+            return 1.0
+        return len(self.intersection) / len(union)
+
+    @property
+    def recall(self) -> float:
+        """Fraction of the paper's front we also find non-dominated."""
+        if not self.paper:
+            return 1.0
+        return len(self.intersection) / len(self.paper)
+
+    def describe(self) -> str:
+        return (
+            f"{self.figure}: measured front {sorted(self.measured)} vs paper "
+            f"{sorted(self.paper)} (jaccard {self.jaccard:.2f}, recall {self.recall:.2f})"
+        )
+
+
+def figure_front(report: DecisionReport, figure: str) -> frozenset[int]:
+    """Non-dominated solution ids of one figure in a campaign report."""
+    if figure not in PAPER_FRONTS:
+        raise KeyError(f"unknown figure {figure!r}; available: {sorted(PAPER_FRONTS)}")
+    return frozenset(report.ranking(figure).front_ids())
+
+
+def compare_front(report: DecisionReport, figure: str) -> FigureComparison:
+    """Measured-vs-paper comparison for one figure."""
+    _, paper = PAPER_FRONTS[figure]
+    return FigureComparison(
+        figure=figure, measured=figure_front(report, figure), paper=paper
+    )
+
+
+def compare_all(report: DecisionReport) -> list[FigureComparison]:
+    """Comparisons for all three figures."""
+    return [compare_front(report, figure) for figure in PAPER_FRONTS]

@@ -1,0 +1,224 @@
+"""Table I: the 18-configuration experimental campaign.
+
+The HAL extraction of the paper garbles Table I; only the Runge–Kutta
+column survives (``3,3,3,5,5,5,8,8 | 3,3,3,8,8 | 3,3,8,8,8``). The 18
+configurations below are reconstructed from that column plus every
+narrative constraint in §§IV–VI (see DESIGN.md §5 for the full
+derivation). The grouping is rows 1–8 RLlib, 9–13 TF-Agents,
+14–18 Stable Baselines.
+
+:class:`AirdropCaseStudy` is the glue between the methodology core and
+the framework back-ends: it turns a :class:`~repro.core.Configuration`
+into a :class:`~repro.frameworks.TrainSpec`, runs it, and reports the
+three §V-d metrics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Mapping
+
+from ..cluster import ClusterSpec, paper_testbed
+from ..core import (
+    Campaign,
+    Categorical,
+    ComputationTime,
+    Configuration,
+    Explorer,
+    MetricSet,
+    ParameterSpace,
+    ParetoFrontRanking,
+    PowerConsumption,
+    Reward,
+)
+from ..core.pruning import Pruner
+from ..frameworks import TrainResult, TrainSpec, get_framework
+from .calibration import DEFAULT_SCALE, Scale, default_power_model
+
+__all__ = [
+    "TABLE1_CONFIGS",
+    "airdrop_parameter_space",
+    "paper_metrics",
+    "paper_rankers",
+    "AirdropCaseStudy",
+    "Table1Explorer",
+    "table1_campaign",
+]
+
+#: the reconstructed Table I rows: solution id -> configuration values
+TABLE1_CONFIGS: dict[int, dict[str, Any]] = {
+    1: {"rk_order": 3, "framework": "rllib", "algorithm": "sac", "n_nodes": 2, "cores_per_node": 4},
+    2: {"rk_order": 3, "framework": "rllib", "algorithm": "ppo", "n_nodes": 2, "cores_per_node": 4},
+    3: {"rk_order": 3, "framework": "rllib", "algorithm": "ppo", "n_nodes": 1, "cores_per_node": 2},
+    4: {"rk_order": 5, "framework": "rllib", "algorithm": "ppo", "n_nodes": 2, "cores_per_node": 2},
+    5: {"rk_order": 5, "framework": "rllib", "algorithm": "ppo", "n_nodes": 2, "cores_per_node": 4},
+    6: {"rk_order": 5, "framework": "rllib", "algorithm": "sac", "n_nodes": 1, "cores_per_node": 4},
+    7: {"rk_order": 8, "framework": "rllib", "algorithm": "ppo", "n_nodes": 1, "cores_per_node": 4},
+    8: {"rk_order": 8, "framework": "rllib", "algorithm": "ppo", "n_nodes": 2, "cores_per_node": 4},
+    9: {"rk_order": 3, "framework": "tfagents", "algorithm": "sac", "n_nodes": 1, "cores_per_node": 4},
+    10: {"rk_order": 3, "framework": "tfagents", "algorithm": "ppo", "n_nodes": 1, "cores_per_node": 2},
+    11: {"rk_order": 3, "framework": "tfagents", "algorithm": "ppo", "n_nodes": 1, "cores_per_node": 4},
+    12: {"rk_order": 8, "framework": "tfagents", "algorithm": "ppo", "n_nodes": 1, "cores_per_node": 4},
+    13: {"rk_order": 8, "framework": "tfagents", "algorithm": "sac", "n_nodes": 1, "cores_per_node": 2},
+    14: {"rk_order": 3, "framework": "stable", "algorithm": "ppo", "n_nodes": 1, "cores_per_node": 2},
+    15: {"rk_order": 3, "framework": "stable", "algorithm": "sac", "n_nodes": 1, "cores_per_node": 4},
+    16: {"rk_order": 8, "framework": "stable", "algorithm": "ppo", "n_nodes": 1, "cores_per_node": 4},
+    17: {"rk_order": 8, "framework": "stable", "algorithm": "ppo", "n_nodes": 1, "cores_per_node": 2},
+    18: {"rk_order": 8, "framework": "stable", "algorithm": "sac", "n_nodes": 1, "cores_per_node": 4},
+}
+
+
+def multi_node_needs_rllib(values: Mapping[str, Any]) -> bool:
+    """§V-b: 'Distributed training on 2 nodes is available with RLlib'."""
+    return values["n_nodes"] == 1 or values["framework"] == "rllib"
+
+
+def airdrop_parameter_space() -> ParameterSpace:
+    """The five §V-b parameters with the paper's value sets."""
+    return ParameterSpace(
+        parameters=[
+            Categorical("rk_order", [3, 5, 8], kind="environment"),
+            Categorical("framework", ["rllib", "stable", "tfagents"], kind="algorithm"),
+            Categorical("algorithm", ["ppo", "sac"], kind="algorithm"),
+            Categorical("n_nodes", [1, 2], kind="system"),
+            Categorical("cores_per_node", [2, 4], kind="system"),
+        ],
+        constraints=[multi_node_needs_rllib],
+    )
+
+
+def paper_metrics() -> MetricSet:
+    """Reward, Computation Time, Power Consumption (§V-d)."""
+    return MetricSet([Reward(), ComputationTime(), PowerConsumption()])
+
+
+def paper_rankers() -> list[ParetoFrontRanking]:
+    """The paper's three Pareto fronts (Figures 4, 5 and 6)."""
+    return [
+        ParetoFrontRanking(["reward", "computation_time"], name="fig4"),
+        ParetoFrontRanking(["power_consumption", "computation_time"], name="fig5"),
+        ParetoFrontRanking(["reward", "power_consumption"], name="fig6"),
+    ]
+
+
+@dataclass
+class AirdropCaseStudy:
+    """Step 1 of the methodology: the airdrop simulator case study.
+
+    Evaluating a configuration trains an agent for real (scaled budget)
+    on the selected framework back-end and reports::
+
+        reward             mean landing score of the final episodes
+        computation_time   virtual seconds at paper scale
+        power_consumption  kilojoules at paper scale
+
+    plus diagnostic extras (eval reward, transferred bytes, ...).
+    """
+
+    scale: Scale = field(default_factory=lambda: DEFAULT_SCALE)
+    cluster: ClusterSpec = field(default_factory=lambda: paper_testbed(2))
+    #: §V-a case-study settings: wind disabled, default altitude interval
+    env_kwargs: dict[str, Any] = field(default_factory=dict)
+    #: keep the TrainResult of each evaluation, keyed by trial id
+    keep_results: bool = True
+    #: reward level defining "converged" for the time_to_threshold metric
+    convergence_threshold: float = -1.0
+
+    def __post_init__(self) -> None:
+        self.results: dict[int, TrainResult] = {}
+
+    def make_spec(self, config: Configuration, seed: int) -> TrainSpec:
+        return TrainSpec(
+            algorithm=str(config["algorithm"]),
+            n_nodes=int(config["n_nodes"]),
+            cores_per_node=int(config["cores_per_node"]),
+            seed=seed,
+            env_kwargs={"rk_order": int(config["rk_order"]), **self.env_kwargs},
+            total_steps=self.scale.real_steps,
+            paper_steps=self.scale.paper_steps,
+        )
+
+    def evaluate(
+        self,
+        config: Configuration,
+        seed: int,
+        progress: Callable[[int, float], bool] | None = None,
+    ) -> dict[str, float]:
+        framework = get_framework(
+            str(config["framework"]),
+            cluster=self.cluster,
+            power_model=default_power_model(),
+        )
+        result = framework.train(self.make_spec(config, seed), callback=progress)
+        if self.keep_results and config.trial_id is not None:
+            self.results[config.trial_id] = result
+        scale = result.diagnostics.get("scale", 1.0)
+        ttt = self._time_to_threshold(result)
+        return {
+            "time_to_threshold": ttt,
+            "reward": result.reward,
+            "computation_time": result.computation_time_s,
+            "power_consumption": result.energy_kj,
+            "bandwidth_usage": result.trace.bytes_transferred() * scale / 1e6,
+            "eval_reward": result.eval_reward,
+            **{f"diag_{k}": v for k, v in result.diagnostics.items()},
+        }
+
+    def _time_to_threshold(self, result: TrainResult) -> float:
+        """Virtual seconds until the curve crosses the threshold (2x the
+        run time when it never does)."""
+        steps_done = result.diagnostics.get("real_steps", 0.0)
+        if steps_done <= 0:
+            return 2.0 * result.computation_time_s
+        for steps, checkpoint in result.learning_curve:
+            if checkpoint >= self.convergence_threshold:
+                return result.computation_time_s * steps / steps_done
+        return 2.0 * result.computation_time_s
+
+
+class Table1Explorer(Explorer):
+    """Replays the paper's 18 sampled configurations in table order.
+
+    The paper drew them by Random Search; replaying the reconstruction
+    keeps solution ids aligned with the published figures.
+    """
+
+    def __init__(self, space: ParameterSpace, seed: int | None = None) -> None:
+        super().__init__(space, seed)
+        self._rows = sorted(TABLE1_CONFIGS)
+
+    def ask(self) -> Configuration | None:
+        if self._asked >= len(self._rows):
+            return None
+        solution = self._rows[self._asked]
+        values = TABLE1_CONFIGS[solution]
+        self.space.validate(dict(values))
+        config = Configuration(values, trial_id=solution)
+        self._asked += 1
+        return config
+
+
+def table1_campaign(
+    seed: int = 0,
+    scale: Scale | None = None,
+    explorer: Explorer | None = None,
+    pruner: Pruner | None = None,
+    env_kwargs: dict[str, Any] | None = None,
+) -> Campaign:
+    """The full §V campaign: airdrop case study × 18 configs × 3 metrics.
+
+    ``campaign.run().render()`` regenerates Table I and Figures 4–6.
+    """
+    space = airdrop_parameter_space()
+    case_study = AirdropCaseStudy(
+        scale=scale or DEFAULT_SCALE, env_kwargs=dict(env_kwargs or {})
+    )
+    return Campaign(
+        case_study=case_study,
+        space=space,
+        explorer=explorer or Table1Explorer(space),
+        metrics=paper_metrics(),
+        rankers=paper_rankers(),
+        pruner=pruner,
+        base_seed=seed,
+    )

@@ -1,0 +1,45 @@
+"""Reinforcement-learning substrate: networks, PPO and SAC from scratch."""
+
+from .agent import Agent
+from .buffers import ReplayBuffer, RolloutBatch, RolloutBuffer, Transition, compute_gae
+from .distributions import Categorical, DiagGaussian, TanhGaussian
+from .nn import MLP, Dense, Identity, Parameter, ReLU, Tanh, clip_grad_norm, orthogonal_init
+from .optim import SGD, Adam, Optimizer
+from .prioritized import PrioritizedBatch, PrioritizedReplayBuffer, SumTree
+from .ppo import CategoricalPPOAgent, PPOAgent, PPOConfig
+from .sac import SACAgent, SACConfig
+from .vtrace import VTraceAgent, VTraceConfig, vtrace_returns
+
+__all__ = [
+    "Agent",
+    "MLP",
+    "Dense",
+    "Tanh",
+    "ReLU",
+    "Identity",
+    "Parameter",
+    "orthogonal_init",
+    "clip_grad_norm",
+    "Optimizer",
+    "SGD",
+    "Adam",
+    "DiagGaussian",
+    "TanhGaussian",
+    "Categorical",
+    "RolloutBuffer",
+    "RolloutBatch",
+    "ReplayBuffer",
+    "PrioritizedReplayBuffer",
+    "PrioritizedBatch",
+    "SumTree",
+    "Transition",
+    "compute_gae",
+    "PPOAgent",
+    "CategoricalPPOAgent",
+    "PPOConfig",
+    "SACAgent",
+    "SACConfig",
+    "VTraceAgent",
+    "VTraceConfig",
+    "vtrace_returns",
+]

@@ -1,0 +1,171 @@
+"""Prioritized experience replay (Schaul et al., 2016 — used by Ape-X).
+
+The paper's §II-A background cites Ape-X, "a synchronous learner using a
+distributed replay buffer to sample experiences from actors". The core of
+that design is *prioritized* replay: transitions are sampled with
+probability ∝ (TD-error)^α and corrected with importance weights
+``(N · P(i))^{-β}``.
+
+Implementation: a classic sum-tree over priorities gives O(log n)
+sampling and updates. :class:`PrioritizedReplayBuffer` mirrors the
+uniform :class:`~repro.rl.buffers.ReplayBuffer` API, returning an
+additional ``weights``/``indices`` pair so the learner can weight its
+loss and feed updated priorities back.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .buffers import Transition
+
+__all__ = ["SumTree", "PrioritizedBatch", "PrioritizedReplayBuffer"]
+
+
+class SumTree:
+    """A complete binary tree whose internal nodes store subtree sums."""
+
+    def __init__(self, capacity: int) -> None:
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self.capacity = int(capacity)
+        # round up to a power of two for a clean complete tree
+        self._leaf_base = 1
+        while self._leaf_base < self.capacity:
+            self._leaf_base *= 2
+        self._tree = np.zeros(2 * self._leaf_base)
+
+    @property
+    def total(self) -> float:
+        return float(self._tree[1])
+
+    def set(self, index: int, value: float) -> None:
+        """Set the priority of leaf ``index`` and update the path sums."""
+        if not 0 <= index < self.capacity:
+            raise IndexError(f"leaf index {index} out of range")
+        if value < 0:
+            raise ValueError("priorities must be non-negative")
+        node = self._leaf_base + index
+        delta = value - self._tree[node]
+        while node >= 1:
+            self._tree[node] += delta
+            node //= 2
+
+    def get(self, index: int) -> float:
+        return float(self._tree[self._leaf_base + index])
+
+    def find(self, mass: float) -> int:
+        """Leaf index such that the prefix sum crosses ``mass``."""
+        if self.total <= 0:
+            raise ValueError("cannot sample from an empty tree")
+        mass = min(max(mass, 0.0), np.nextafter(self.total, 0.0))
+        node = 1
+        while node < self._leaf_base:
+            left = 2 * node
+            if mass < self._tree[left]:
+                node = left
+            else:
+                mass -= self._tree[left]
+                node = left + 1
+        return node - self._leaf_base
+
+
+@dataclass
+class PrioritizedBatch(Transition):
+    """A prioritized sample: transitions + IS weights + leaf indices."""
+
+    weights: np.ndarray = None  # type: ignore[assignment]
+    indices: np.ndarray = None  # type: ignore[assignment]
+
+
+class PrioritizedReplayBuffer:
+    """Proportional prioritized replay with importance-sampling weights.
+
+    Parameters
+    ----------
+    alpha:
+        Priority exponent (0 → uniform replay).
+    beta:
+        Importance-correction exponent; anneal toward 1 externally by
+        assigning :attr:`beta`.
+    """
+
+    def __init__(
+        self,
+        capacity: int,
+        obs_dim: int,
+        act_dim: int,
+        alpha: float = 0.6,
+        beta: float = 0.4,
+        epsilon: float = 1e-4,
+    ) -> None:
+        if not 0.0 <= alpha <= 1.0:
+            raise ValueError("alpha must be in [0, 1]")
+        if not 0.0 <= beta <= 1.0:
+            raise ValueError("beta must be in [0, 1]")
+        self.capacity = int(capacity)
+        self.alpha = float(alpha)
+        self.beta = float(beta)
+        self.epsilon = float(epsilon)
+        self.observations = np.zeros((capacity, obs_dim))
+        self.actions = np.zeros((capacity, act_dim))
+        self.rewards = np.zeros(capacity)
+        self.next_observations = np.zeros((capacity, obs_dim))
+        self.terminations = np.zeros(capacity)
+        self._tree = SumTree(capacity)
+        self._max_priority = 1.0
+        self._pos = 0
+        self._size = 0
+
+    def __len__(self) -> int:
+        return self._size
+
+    def add(
+        self,
+        obs: np.ndarray,
+        action: np.ndarray,
+        reward: float,
+        next_obs: np.ndarray,
+        terminated: bool,
+    ) -> None:
+        """Insert with maximal priority so new data is seen quickly."""
+        i = self._pos
+        self.observations[i] = obs
+        self.actions[i] = np.asarray(action).reshape(-1)
+        self.rewards[i] = float(reward)
+        self.next_observations[i] = next_obs
+        self.terminations[i] = float(terminated)
+        self._tree.set(i, self._max_priority**self.alpha)
+        self._pos = (self._pos + 1) % self.capacity
+        self._size = min(self._size + 1, self.capacity)
+
+    def sample(self, batch_size: int, rng: np.random.Generator) -> PrioritizedBatch:
+        if self._size == 0:
+            raise RuntimeError("cannot sample from an empty replay buffer")
+        total = self._tree.total
+        # stratified sampling over the cumulative mass
+        bounds = np.linspace(0.0, total, batch_size + 1)
+        masses = rng.uniform(bounds[:-1], bounds[1:])
+        indices = np.array([self._tree.find(m) for m in masses], dtype=np.int64)
+        priorities = np.array([self._tree.get(i) for i in indices])
+        probs = priorities / total
+        weights = (self._size * probs) ** (-self.beta)
+        weights /= weights.max()
+        return PrioritizedBatch(
+            observations=self.observations[indices],
+            actions=self.actions[indices],
+            rewards=self.rewards[indices],
+            next_observations=self.next_observations[indices],
+            terminations=self.terminations[indices],
+            weights=weights,
+            indices=indices,
+        )
+
+    def update_priorities(self, indices: np.ndarray, td_errors: np.ndarray) -> None:
+        """Feed learner TD errors back as new priorities."""
+        for index, err in zip(np.asarray(indices), np.asarray(td_errors)):
+            priority = float(abs(err)) + self.epsilon
+            self._max_priority = max(self._max_priority, priority)
+            self._tree.set(int(index), priority**self.alpha)

@@ -1,0 +1,27 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+import repro.airdrop  # noqa: F401  (registers Airdrop-v0)
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def airdrop_env():
+    from repro.airdrop import AirdropEnv
+
+    return AirdropEnv(rk_order=5)
+
+
+@pytest.fixture
+def small_cluster():
+    from repro.cluster import paper_testbed
+
+    return paper_testbed(2)

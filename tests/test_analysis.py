@@ -1,0 +1,132 @@
+"""Tests for the post-campaign analysis helpers."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    Configuration,
+    Metric,
+    MetricSet,
+    ResultsTable,
+    TrialResult,
+    TrialStatus,
+    pairwise_interaction,
+    parameter_effects,
+    parameter_importance,
+)
+
+
+def build_table():
+    """time = 100/cores + tiny framework effect; reward depends on algo."""
+    metrics = MetricSet(
+        [Metric(name="reward", direction="max"), Metric(name="time", direction="min")]
+    )
+    table = ResultsTable(metrics)
+    trial_id = 0
+    for cores in (2, 4):
+        for algo in ("ppo", "sac"):
+            for fw in ("a", "b"):
+                trial_id += 1
+                reward = -0.5 if algo == "ppo" else -3.0
+                time_ = 100.0 / cores + (1.0 if fw == "b" else 0.0)
+                table.add(
+                    TrialResult(
+                        config=Configuration(
+                            {"cores": cores, "algo": algo, "fw": fw}, trial_id=trial_id
+                        ),
+                        objectives={"reward": reward, "time": time_},
+                    )
+                )
+    return table
+
+
+class TestParameterEffects:
+    def test_conditional_means(self):
+        table = build_table()
+        effects = parameter_effects(table, "cores", "time")
+        assert effects.levels[2][0] == pytest.approx(50.5)
+        assert effects.levels[4][0] == pytest.approx(25.5)
+        assert effects.levels[2][2] == 4  # count
+
+    def test_best_level_direction(self):
+        table = build_table()
+        effects = parameter_effects(table, "algo", "reward")
+        assert effects.best_level(maximize=True) == "ppo"
+        effects = parameter_effects(table, "cores", "time")
+        assert effects.best_level(maximize=False) == 4
+
+    def test_spread(self):
+        table = build_table()
+        assert parameter_effects(table, "cores", "time").spread() == pytest.approx(25.0)
+        assert parameter_effects(table, "algo", "reward").spread() == pytest.approx(2.5)
+
+    def test_render(self):
+        text = parameter_effects(build_table(), "algo", "reward").render()
+        assert "'algo'" in text and "mean" in text
+
+    def test_unknown_parameter(self):
+        with pytest.raises(KeyError):
+            parameter_effects(build_table(), "nope", "time")
+
+    def test_unknown_metric(self):
+        with pytest.raises(KeyError):
+            parameter_effects(build_table(), "cores", "nope")
+
+    def test_empty_table(self):
+        metrics = MetricSet([Metric(name="x", direction="min")])
+        with pytest.raises(ValueError):
+            parameter_effects(ResultsTable(metrics), "p", "x")
+
+
+class TestParameterImportance:
+    def test_dominant_parameter_identified(self):
+        table = build_table()
+        importance = parameter_importance(table, "time")
+        # time is driven by cores, slightly by fw, not at all by algo
+        assert importance["cores"] > 0.9
+        assert importance["algo"] == pytest.approx(0.0, abs=1e-9)
+        assert sum(importance.values()) == pytest.approx(1.0)
+
+    def test_reward_driven_by_algo(self):
+        importance = parameter_importance(build_table(), "reward")
+        assert importance["algo"] > 0.99
+
+    def test_subset_of_parameters(self):
+        importance = parameter_importance(build_table(), "time", parameters=["cores", "fw"])
+        assert set(importance) == {"cores", "fw"}
+
+    def test_zero_variance(self):
+        metrics = MetricSet([Metric(name="x", direction="min")])
+        table = ResultsTable(metrics)
+        for i in range(4):
+            table.add(
+                TrialResult(
+                    config=Configuration({"p": i % 2}, trial_id=i),
+                    objectives={"x": 1.0},
+                )
+            )
+        importance = parameter_importance(table, "x")
+        assert all(v == 0.0 for v in importance.values())
+
+
+class TestPairwiseInteraction:
+    def test_grid_means(self):
+        table = build_table()
+        grid = pairwise_interaction(table, "cores", "algo", "reward")
+        assert grid[(2, "ppo")][0] == pytest.approx(-0.5)
+        assert grid[(4, "sac")][0] == pytest.approx(-3.0)
+        assert grid[(2, "ppo")][1] == 2  # two frameworks per cell
+
+    def test_ignores_failed_trials(self):
+        table = build_table()
+        table.add(
+            TrialResult(
+                config=Configuration({"cores": 2, "algo": "ppo", "fw": "a"}, trial_id=99),
+                objectives={},
+                status=TrialStatus.FAILED,
+            )
+        )
+        grid = pairwise_interaction(table, "cores", "algo", "reward")
+        assert grid[(2, "ppo")][1] == 2

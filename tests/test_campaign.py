@@ -1,0 +1,196 @@
+"""Tests for the campaign orchestration, with a synthetic case study."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    Campaign,
+    Categorical,
+    Configuration,
+    GridSearch,
+    MedianPruner,
+    Metric,
+    MetricSet,
+    ParameterSpace,
+    ParetoFrontRanking,
+    RandomSearch,
+    SortedTableRanking,
+    TrialStatus,
+)
+
+
+class SyntheticCaseStudy:
+    """Deterministic toy 'learning task': quality and cost follow directly
+    from the configuration, with a progress curve for pruning tests."""
+
+    def __init__(self, fail_on=None, curve_points=5):
+        self.fail_on = fail_on or set()
+        self.curve_points = curve_points
+        self.evaluated: list[Configuration] = []
+
+    def evaluate(self, config, seed, progress=None):
+        self.evaluated.append(config)
+        if config["quality"] in self.fail_on:
+            raise RuntimeError("boom")
+        quality = float(config["quality"])
+        cost = float(config["cost"])
+        if progress is not None:
+            for step in range(1, self.curve_points + 1):
+                # low-quality configs look bad early → good pruning target
+                value = quality * step / self.curve_points
+                if progress(step, value):
+                    return {"reward": value, "time": cost * step / self.curve_points}
+        return {"reward": quality, "time": cost}
+
+
+def space():
+    return ParameterSpace(
+        [Categorical("quality", [1, 2, 3, 4]), Categorical("cost", [10, 20])]
+    )
+
+
+def metrics():
+    return MetricSet(
+        [Metric(name="reward", direction="max"), Metric(name="time", direction="min")]
+    )
+
+
+class TestCampaignRun:
+    def test_runs_all_trials(self):
+        study = SyntheticCaseStudy()
+        campaign = Campaign(study, space(), GridSearch(space()), metrics())
+        report = campaign.run()
+        assert len(report.table) == 8
+        assert report.meta["n_completed"] == 8
+        assert len(study.evaluated) == 8
+
+    def test_default_rankers_are_metric_pairs(self):
+        campaign = Campaign(SyntheticCaseStudy(), space(), GridSearch(space()), metrics())
+        report = campaign.run()
+        assert list(report.rankings) == ["pareto:reward+time"]
+
+    def test_custom_rankers(self):
+        campaign = Campaign(
+            SyntheticCaseStudy(),
+            space(),
+            GridSearch(space()),
+            metrics(),
+            rankers=[SortedTableRanking("reward"), ParetoFrontRanking(["reward", "time"])],
+        )
+        report = campaign.run()
+        assert set(report.rankings) == {"sorted:reward", "pareto:reward+time"}
+        assert report.ranking("sorted:reward").best.objectives["reward"] == 4.0
+
+    def test_front_is_correct(self):
+        campaign = Campaign(SyntheticCaseStudy(), space(), GridSearch(space()), metrics())
+        report = campaign.run()
+        front_trials = report.ranking("pareto:reward+time").front()
+        values = {(t.objectives["reward"], t.objectives["time"]) for t in front_trials}
+        assert values == {(4.0, 10.0)}  # single dominating point
+
+    def test_failed_trials_recorded_not_raised(self):
+        study = SyntheticCaseStudy(fail_on={2})
+        campaign = Campaign(study, space(), GridSearch(space()), metrics())
+        report = campaign.run()
+        failed = [t for t in report.table if t.status == TrialStatus.FAILED]
+        assert len(failed) == 2  # quality=2 at both costs
+        assert "boom" in failed[0].extras["error"]
+        assert report.meta["n_completed"] == 6
+
+    def test_raise_on_error_mode(self):
+        study = SyntheticCaseStudy(fail_on={1})
+        campaign = Campaign(
+            study, space(), GridSearch(space()), metrics(), raise_on_error=True
+        )
+        with pytest.raises(RuntimeError):
+            campaign.run()
+
+    def test_progress_callback_invoked(self):
+        seen = []
+        campaign = Campaign(SyntheticCaseStudy(), space(), GridSearch(space()), metrics())
+        campaign.run(progress=lambda trial, n: seen.append((trial.trial_id, n)))
+        assert len(seen) == 8
+        assert seen[-1][1] == 8
+
+    def test_invalid_configuration_from_explorer_raises(self):
+        class BadExplorer(RandomSearch):
+            def ask(self):
+                return Configuration({"quality": 99, "cost": 10}, trial_id=1)
+
+        campaign = Campaign(
+            SyntheticCaseStudy(), space(), BadExplorer(space(), 1), metrics(),
+            raise_on_error=True,
+        )
+        with pytest.raises(ValueError):
+            campaign.run()
+
+    def test_case_study_protocol_enforced(self):
+        with pytest.raises(TypeError):
+            Campaign(object(), space(), GridSearch(space()), metrics())
+
+    def test_report_render_smoke(self):
+        campaign = Campaign(SyntheticCaseStudy(), space(), GridSearch(space()), metrics())
+        text = campaign.run().render()
+        assert "Campaign results" in text
+        assert "pareto:reward+time" in text
+        assert "+-" in text  # scatter frame
+
+    def test_fronts_helper(self):
+        campaign = Campaign(SyntheticCaseStudy(), space(), GridSearch(space()), metrics())
+        report = campaign.run()
+        fronts = report.fronts()
+        assert set(fronts) == {"pareto:reward+time"}
+
+    def test_unknown_ranking_name(self):
+        campaign = Campaign(SyntheticCaseStudy(), space(), GridSearch(space()), metrics())
+        report = campaign.run()
+        with pytest.raises(KeyError):
+            report.ranking("nope")
+
+
+class TestCampaignPruning:
+    def test_median_pruner_stops_bad_trials(self):
+        # run good configs first so the pruner has baselines, then bad ones
+        order = [
+            {"quality": 4, "cost": 10},
+            {"quality": 4, "cost": 20},
+            {"quality": 3, "cost": 10},
+            {"quality": 3, "cost": 20},
+            {"quality": 1, "cost": 10},
+            {"quality": 1, "cost": 20},
+        ]
+
+        class FixedExplorer(RandomSearch):
+            def __init__(self, space):
+                super().__init__(space, n_trials=len(order))
+                self._configs = [Configuration(v) for v in order]
+
+            def ask(self):
+                if self._asked >= len(self._configs):
+                    return None
+                return self._configs[self._asked].with_trial_id(self._next_id())
+
+        study = SyntheticCaseStudy()
+        campaign = Campaign(
+            study,
+            space(),
+            FixedExplorer(space()),
+            metrics(),
+            pruner=MedianPruner(n_startup_trials=4),
+        )
+        report = campaign.run()
+        statuses = {t.trial_id: t.status for t in report.table}
+        assert statuses[5] == TrialStatus.PRUNED
+        assert statuses[6] == TrialStatus.PRUNED
+        assert statuses[1] == TrialStatus.COMPLETED
+        # pruned trials are excluded from the fronts
+        front = report.ranking("pareto:reward+time").front_ids()
+        assert 5 not in front and 6 not in front
+
+    def test_no_pruner_runs_everything(self):
+        study = SyntheticCaseStudy()
+        campaign = Campaign(study, space(), GridSearch(space()), metrics())
+        report = campaign.run()
+        assert all(t.status == TrialStatus.COMPLETED for t in report.table)

@@ -1,0 +1,119 @@
+"""Tests for the command-line interface."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+
+class TestCalibrationCommand:
+    def test_prints_anchors(self, capsys):
+        assert main(["calibration"]) == 0
+        out = capsys.readouterr().out
+        for token in ("sol", "rllib", "stable", "tfagents", "paper"):
+            assert token in out
+
+
+class TestEpisodeCommand:
+    def test_controller_episode(self, capsys):
+        assert main(["episode", "--seed", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "drop:" in out
+        assert "touchdown" in out
+        assert "landing score" in out
+
+    def test_random_policy(self, capsys):
+        assert main(["episode", "--policy", "random", "--seed", "2"]) == 0
+        assert "touchdown" in capsys.readouterr().out
+
+    def test_rk_order_flag(self, capsys):
+        assert main(["episode", "--rk-order", "3", "--seed", "1"]) == 0
+        assert "RK order 3" in capsys.readouterr().out
+
+    def test_altitude_override(self, capsys):
+        assert main(["episode", "--altitude", "50", "--seed", "0"]) == 0
+        assert "altitude 50 m" in capsys.readouterr().out
+
+    def test_wind_flags(self, capsys):
+        assert main(["episode", "--wind", "--gusts", "--seed", "0"]) == 0
+
+
+class TestCampaignCommand:
+    def test_tiny_random_campaign_with_archive(self, tmp_path, capsys):
+        out_path = tmp_path / "report.json"
+        code = main(
+            [
+                "campaign",
+                "--explorer", "random",
+                "--trials", "2",
+                "--steps", "800",
+                "--seed", "1",
+                "--no-plots",
+                "--output", str(out_path),
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Campaign results" in out
+        assert out_path.exists()
+        payload = json.loads(out_path.read_text())
+        assert len(payload["trials"]) == 2
+
+    def test_analyze_archived_report(self, tmp_path, capsys):
+        out_path = tmp_path / "report.json"
+        main(
+            [
+                "campaign", "--explorer", "random", "--trials", "3",
+                "--steps", "800", "--seed", "2", "--no-plots",
+                "--output", str(out_path),
+            ]
+        )
+        capsys.readouterr()
+        assert main(["analyze", str(out_path)]) == 0
+        out = capsys.readouterr().out
+        assert "parameter importance" in out
+        assert "effect of" in out
+        assert "fronts" in out
+
+    def test_analyze_unknown_metric(self, tmp_path, capsys):
+        out_path = tmp_path / "report.json"
+        main(
+            [
+                "campaign", "--explorer", "random", "--trials", "2",
+                "--steps", "800", "--seed", "3", "--no-plots",
+                "--output", str(out_path),
+            ]
+        )
+        capsys.readouterr()
+        assert main(["analyze", str(out_path), "--metric", "nope"]) == 1
+
+
+class TestArgParsing:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            main([])
+
+    def test_unknown_command(self):
+        with pytest.raises(SystemExit):
+            main(["nope"])
+
+
+class TestExplorerFlags:
+    def test_lhs_explorer(self, capsys):
+        code = main(
+            ["campaign", "--explorer", "lhs", "--trials", "2", "--steps", "700",
+             "--seed", "4", "--no-plots"]
+        )
+        assert code == 0
+        assert "Campaign results" in capsys.readouterr().out
+
+    def test_tpe_explorer(self, capsys):
+        code = main(
+            ["campaign", "--explorer", "tpe", "--trials", "2", "--steps", "700",
+             "--seed", "5", "--no-plots"]
+        )
+        assert code == 0
+        assert "Campaign results" in capsys.readouterr().out

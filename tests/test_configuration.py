@@ -1,0 +1,60 @@
+"""Tests for Configuration objects."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import Categorical, Configuration, ParameterSpace
+
+
+class TestConfiguration:
+    def test_mapping_interface(self):
+        c = Configuration({"a": 1, "b": "x"})
+        assert c["a"] == 1
+        assert len(c) == 2
+        assert set(c) == {"a", "b"}
+        assert c.as_dict() == {"a": 1, "b": "x"}
+
+    def test_hash_and_equality_ignore_order(self):
+        a = Configuration({"x": 1, "y": 2})
+        b = Configuration({"y": 2, "x": 1})
+        assert a == b
+        assert hash(a) == hash(b)
+        assert a.key() == b.key()
+
+    def test_equality_with_plain_dict(self):
+        assert Configuration({"x": 1}) == {"x": 1}
+
+    def test_trial_id_not_part_of_identity(self):
+        a = Configuration({"x": 1}, trial_id=1)
+        b = Configuration({"x": 1}, trial_id=2)
+        assert a == b
+        assert a.key() == b.key()
+
+    def test_with_trial_id(self):
+        a = Configuration({"x": 1})
+        b = a.with_trial_id(7)
+        assert b.trial_id == 7
+        assert a.trial_id is None
+
+    def test_describe_includes_id(self):
+        c = Configuration({"x": 1}, trial_id=4)
+        assert c.describe().startswith("#4 ")
+
+    def test_split_by_kind(self):
+        space = ParameterSpace(
+            [
+                Categorical("rk", [3, 5], kind="environment"),
+                Categorical("fw", ["a"], kind="algorithm"),
+                Categorical("nodes", [1, 2], kind="system"),
+            ]
+        )
+        c = Configuration({"rk": 3, "fw": "a", "nodes": 2})
+        split = c.split_by_kind(space)
+        assert split["environment"] == {"rk": 3}
+        assert split["algorithm"] == {"fw": "a"}
+        assert split["system"] == {"nodes": 2}
+
+    def test_usable_as_dict_key(self):
+        d = {Configuration({"x": 1}): "one"}
+        assert d[Configuration({"x": 1})] == "one"

@@ -1,0 +1,155 @@
+"""Tests for the parafoil dynamics model."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.airdrop import (
+    DOPRI5,
+    ParafoilParams,
+    make_rhs,
+    parafoil_rhs,
+    steady_bank,
+    trim_glide_ratio,
+    turn_radius,
+)
+from repro.airdrop.dynamics import IOMEGA, IPHI, IPSI, IVH, IVZ, IX, IY, IZ, STATE_DIM
+
+
+def trim_state(params: ParafoilParams, z: float = 500.0) -> np.ndarray:
+    s = np.zeros(STATE_DIM)
+    s[IZ] = z
+    s[IVH] = params.v_trim
+    s[IVZ] = params.vz_trim
+    return s
+
+
+class TestParams:
+    def test_defaults_valid(self):
+        p = ParafoilParams()
+        assert trim_glide_ratio(p) == pytest.approx(2.0)
+        assert turn_radius(p) == pytest.approx(10.0 / 0.6)
+
+    def test_invalid_params_rejected(self):
+        with pytest.raises(ValueError):
+            ParafoilParams(v_trim=-1.0)
+        with pytest.raises(ValueError):
+            ParafoilParams(omega_max=0.0)
+        with pytest.raises(ValueError):
+            ParafoilParams(roll_omega0=-2.0)
+
+
+class TestSteadyBank:
+    def test_zero_turn_zero_bank(self):
+        assert steady_bank(10.0, 0.0) == 0.0
+
+    def test_sign_follows_turn_direction(self):
+        assert steady_bank(10.0, 0.5) > 0
+        assert steady_bank(10.0, -0.5) < 0
+
+    def test_magnitude(self):
+        # atan(10 * 0.6 / 9.81) ≈ 0.549
+        assert steady_bank(10.0, 0.6) == pytest.approx(np.arctan(6.0 / 9.81))
+
+
+class TestRHS:
+    def test_straight_trim_flight_is_equilibrium(self):
+        p = ParafoilParams()
+        s = trim_state(p)
+        d = parafoil_rhs(0.0, s, 0.0, np.zeros(2), p)
+        # velocities/rates do not change at trim
+        assert np.allclose(d[[IOMEGA + 1, IVH, IVZ, IPHI, IPHI + 1]], 0.0, atol=1e-12)
+        # kinematics: moving forward (psi=0 → +x), descending
+        assert d[IX] == pytest.approx(p.v_trim)
+        assert d[IY] == pytest.approx(0.0)
+        assert d[IZ] == pytest.approx(-p.vz_trim)
+
+    def test_heading_rotates_velocity(self):
+        p = ParafoilParams()
+        s = trim_state(p)
+        s[IPSI] = np.pi / 2
+        d = parafoil_rhs(0.0, s, 0.0, np.zeros(2), p)
+        assert d[IX] == pytest.approx(0.0, abs=1e-12)
+        assert d[IY] == pytest.approx(p.v_trim)
+
+    def test_wind_adds_drift(self):
+        p = ParafoilParams()
+        s = trim_state(p)
+        d = parafoil_rhs(0.0, s, 0.0, np.array([1.5, -2.0]), p)
+        assert d[IX] == pytest.approx(p.v_trim + 1.5)
+        assert d[IY] == pytest.approx(-2.0)
+
+    def test_steering_commands_turn(self):
+        p = ParafoilParams()
+        s = trim_state(p)
+        d = parafoil_rhs(0.0, s, 1.0, np.zeros(2), p)
+        assert d[IOMEGA] > 0  # turn rate ramps toward omega_max
+        d = parafoil_rhs(0.0, s, -1.0, np.zeros(2), p)
+        assert d[IOMEGA] < 0
+
+    def test_turn_excites_roll(self):
+        p = ParafoilParams()
+        s = trim_state(p)
+        s[IOMEGA] = 0.5  # established turn, but phi still 0
+        d = parafoil_rhs(0.0, s, 1.0, np.zeros(2), p)
+        assert d[IPHI + 1] > 0  # roll accelerates toward the bank angle
+        # wait: IP = IPHI + 1
+        assert d[IPHI] == s[IPHI + 1]
+
+    def test_bank_increases_sink(self):
+        p = ParafoilParams()
+        s = trim_state(p)
+        s[IPHI] = 0.5
+        d = parafoil_rhs(0.0, s, 0.0, np.zeros(2), p)
+        assert d[IVZ] > 0      # sink rate grows above trim
+        assert d[IVH] < 0      # airspeed bleeds
+
+    def test_bank_causes_sideslip(self):
+        p = ParafoilParams()
+        s = trim_state(p)
+        s[IPHI] = 0.4  # banked right at psi=0 → slip in +y
+        d = parafoil_rhs(0.0, s, 0.0, np.zeros(2), p)
+        assert d[IY] > 0
+
+    def test_make_rhs_clips_control(self):
+        p = ParafoilParams()
+        s = trim_state(p)
+        rhs_big = make_rhs(5.0, np.zeros(2), p)
+        rhs_one = make_rhs(1.0, np.zeros(2), p)
+        assert np.allclose(rhs_big(0.0, s), rhs_one(0.0, s))
+
+
+class TestClosedLoopBehaviour:
+    def _fly(self, u_fn, T=60, h=0.25, params=None):
+        p = params or ParafoilParams()
+        s = trim_state(p, z=1000.0)
+        t = 0.0
+        for k in range(int(T / h)):
+            rhs = make_rhs(u_fn(k * h), np.zeros(2), p)
+            s = DOPRI5.step(rhs, t, s, h)
+            t += h
+        return s, p
+
+    def test_straight_flight_glide_ratio(self):
+        s, p = self._fly(lambda t: 0.0, T=40)
+        horizontal = np.hypot(s[IX], s[IY])
+        descent = 1000.0 - s[IZ]
+        assert horizontal / descent == pytest.approx(trim_glide_ratio(p), rel=0.05)
+
+    def test_full_deflection_converges_to_circle(self):
+        s, p = self._fly(lambda t: 1.0, T=60)
+        # steady turn rate below commanded max because of quadratic drag
+        assert 0.2 < s[IOMEGA] <= p.omega_max
+        # bank settles near the coordinated angle for that turn rate
+        assert abs(s[IPHI] - steady_bank(s[IVH], s[IOMEGA])) < 0.15
+
+    def test_turning_sinks_faster_than_straight(self):
+        straight, p = self._fly(lambda t: 0.0, T=30)
+        turning, _ = self._fly(lambda t: 1.0, T=30)
+        assert turning[IZ] < straight[IZ]
+
+    def test_dynamics_stay_finite_under_bang_bang(self):
+        s, _ = self._fly(lambda t: 1.0 if int(t) % 2 == 0 else -1.0, T=60)
+        assert np.all(np.isfinite(s))
+        assert abs(s[IPHI]) < 1.5  # roll saturates, never diverges

@@ -1,0 +1,133 @@
+"""Tests for the exploratory methods."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    Categorical,
+    Float,
+    GridSearch,
+    Integer,
+    LatinHypercube,
+    ParameterSpace,
+    RandomSearch,
+)
+
+
+def finite_space() -> ParameterSpace:
+    return ParameterSpace(
+        [
+            Categorical("a", [1, 2, 3]),
+            Categorical("b", ["x", "y"]),
+        ]
+    )
+
+
+def drain(explorer):
+    out = []
+    while True:
+        c = explorer.ask()
+        if c is None:
+            return out
+        out.append(c)
+
+
+class TestRandomSearch:
+    def test_respects_budget(self):
+        ex = RandomSearch(finite_space(), n_trials=4, seed=0)
+        assert len(drain(ex)) == 4
+
+    def test_trial_ids_sequential(self):
+        ex = RandomSearch(finite_space(), n_trials=3, seed=0)
+        assert [c.trial_id for c in drain(ex)] == [1, 2, 3]
+
+    def test_dedupe(self):
+        ex = RandomSearch(finite_space(), n_trials=6, seed=0, dedupe=True)
+        configs = drain(ex)
+        assert len({c.key() for c in configs}) == 6  # space has exactly 6 points
+
+    def test_without_dedupe_allows_repeats(self):
+        ex = RandomSearch(finite_space(), n_trials=50, seed=0, dedupe=False)
+        configs = drain(ex)
+        assert len(configs) == 50
+        assert len({c.key() for c in configs}) < 50
+
+    def test_deterministic_with_seed(self):
+        a = [c.as_dict() for c in drain(RandomSearch(finite_space(), 5, seed=9))]
+        b = [c.as_dict() for c in drain(RandomSearch(finite_space(), 5, seed=9))]
+        assert a == b
+
+    def test_invalid_budget(self):
+        with pytest.raises(ValueError):
+            RandomSearch(finite_space(), n_trials=0)
+
+    def test_constraints_respected(self):
+        space = ParameterSpace(
+            [Categorical("n", [1, 2]), Categorical("fw", ["r", "s"])],
+            constraints=[lambda v: v["n"] == 1 or v["fw"] == "r"],
+        )
+        for c in drain(RandomSearch(space, 3, seed=1)):
+            assert space.is_valid(c.as_dict())
+
+
+class TestGridSearch:
+    def test_covers_whole_grid(self):
+        ex = GridSearch(finite_space())
+        configs = drain(ex)
+        assert len(configs) == 6
+        assert len({c.key() for c in configs}) == 6
+
+    def test_max_trials_caps(self):
+        ex = GridSearch(finite_space(), max_trials=2)
+        assert len(drain(ex)) == 2
+
+    def test_constraint_filtered(self):
+        space = ParameterSpace(
+            [Categorical("n", [1, 2]), Categorical("fw", ["r", "s"])],
+            constraints=[lambda v: v["n"] == 1 or v["fw"] == "r"],
+        )
+        assert len(drain(GridSearch(space))) == 3
+
+
+class TestLatinHypercube:
+    def test_budget(self):
+        space = ParameterSpace([Float("x", 0, 1), Categorical("c", [1, 2])])
+        assert len(drain(LatinHypercube(space, 8, seed=0))) == 8
+
+    def test_stratification_on_float(self):
+        space = ParameterSpace([Float("x", 0.0, 1.0)])
+        configs = drain(LatinHypercube(space, 10, seed=0))
+        values = sorted(c["x"] for c in configs)
+        # exactly one sample per decile
+        for i, v in enumerate(values):
+            assert i / 10 <= v <= (i + 1) / 10
+
+    def test_categorical_balanced(self):
+        space = ParameterSpace([Categorical("c", ["a", "b"])])
+        configs = drain(LatinHypercube(space, 10, seed=0))
+        counts = {"a": 0, "b": 0}
+        for c in configs:
+            counts[c["c"]] += 1
+        assert counts == {"a": 5, "b": 5}
+
+    def test_integer_lattice_covers_range(self):
+        space = ParameterSpace([Integer("n", 0, 9)])
+        configs = drain(LatinHypercube(space, 10, seed=0))
+        assert {c["n"] for c in configs} == set(range(10))
+
+    def test_constraint_repair(self):
+        space = ParameterSpace(
+            [Categorical("n", [1, 2]), Categorical("fw", ["r", "s"])],
+            constraints=[lambda v: v["n"] == 1 or v["fw"] == "r"],
+        )
+        for c in drain(LatinHypercube(space, 12, seed=3)):
+            assert space.is_valid(c.as_dict())
+
+    def test_log_float_stratification(self):
+        space = ParameterSpace([Float("lr", 1e-4, 1e0, log=True)])
+        configs = drain(LatinHypercube(space, 8, seed=0))
+        values = [c["lr"] for c in configs]
+        assert min(values) < 1e-3  # strata cover the low decades
+        assert max(values) > 1e-1

@@ -1,0 +1,113 @@
+"""Failure-injection tests: the system degrades gracefully, not silently."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+import repro.airdrop  # noqa: F401
+from repro.airdrop import AirdropEnv, ParafoilParams
+from repro.core import (
+    Campaign,
+    Categorical,
+    GridSearch,
+    Metric,
+    MetricSet,
+    ParameterSpace,
+    SortedTableRanking,
+    TrialStatus,
+)
+from repro.envs import Box, Env, register
+from repro.frameworks import TrainSpec, get_framework
+
+
+class ExplodingEnv(Env):
+    """Raises after a configurable number of steps."""
+
+    def __init__(self, fuse: int = 50) -> None:
+        self.observation_space = Box(-np.inf, np.inf, shape=(3,))
+        self.action_space = Box(-1, 1, shape=(1,))
+        self.fuse = fuse
+        self.count = 0
+
+    def reset(self, *, seed=None, options=None):
+        super().reset(seed=seed)
+        return np.zeros(3), {}
+
+    def step(self, action):
+        self.count += 1
+        if self.count >= self.fuse:
+            raise RuntimeError("hardware fault")
+        return np.zeros(3), 0.0, False, True, {}
+
+
+class TestEnvNumericalFailure:
+    def test_nonfinite_state_terminates_episode(self):
+        """A numerically destroyed package ends the episode with a large
+        penalty instead of propagating NaNs into the learner."""
+        env = AirdropEnv(rk_order=3)
+        env.reset(seed=0)
+        # corrupt the internal state to force a non-finite integration
+        env._state[5] = np.inf
+        with np.errstate(invalid="ignore", over="ignore"):
+            obs, reward, term, trunc, info = env.step(np.zeros(1))
+        assert term
+        assert info.get("numerical_failure") is True
+        assert reward == -10.0
+        assert np.all(np.isfinite(obs))
+
+    def test_extreme_parameters_stay_finite(self):
+        """A violently unstable canopy configuration must still produce
+        finite observations or a flagged failure — never silent NaNs."""
+        params = ParafoilParams(roll_omega0=6.0, roll_zeta=0.01)
+        env = AirdropEnv(rk_order=3, params=params)
+        obs, _ = env.reset(seed=1)
+        rng = np.random.default_rng(1)
+        for _ in range(300):
+            obs, reward, term, trunc, info = env.step(rng.uniform(-1, 1, 1))
+            assert np.all(np.isfinite(obs))
+            assert np.isfinite(reward)
+            if term or trunc:
+                break
+
+
+class TestFrameworkFailurePropagation:
+    def test_mid_training_env_crash_surfaces(self):
+        register("Exploding-v0", ExplodingEnv, max_episode_steps=10, force=True)
+        fw = get_framework("stable")
+        spec = TrainSpec(
+            algorithm="ppo", n_nodes=1, cores_per_node=2,
+            env_id="Exploding-v0", env_kwargs={"fuse": 30},
+            total_steps=500, eval_episodes=1,
+        )
+        with pytest.raises(RuntimeError, match="hardware fault"):
+            fw.train(spec)
+
+
+class TestCampaignQuarantinesFailures:
+    def test_failing_trials_do_not_sink_the_campaign(self):
+        class HalfBrokenStudy:
+            def evaluate(self, config, seed, progress=None):
+                if config["x"] % 2 == 0:
+                    raise RuntimeError("node crash")
+                return {"loss": float(config["x"])}
+
+        space = ParameterSpace([Categorical("x", [1, 2, 3, 4])])
+        campaign = Campaign(
+            HalfBrokenStudy(),
+            space,
+            GridSearch(space),
+            MetricSet([Metric(name="loss", direction="min")]),
+            rankers=[SortedTableRanking("loss")],
+        )
+        report = campaign.run()
+        statuses = [t.status for t in report.table]
+        assert statuses.count(TrialStatus.FAILED) == 2
+        assert statuses.count(TrialStatus.COMPLETED) == 2
+        # rankings built from the survivors only
+        ranking = next(iter(report.rankings.values()))
+        assert all(t.ok for t in ranking.ordered)
+        # failure forensics retained
+        failed = [t for t in report.table if not t.ok]
+        assert "node crash" in failed[0].extras["error"]
+        assert "traceback" in failed[0].extras

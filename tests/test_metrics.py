@@ -1,0 +1,84 @@
+"""Tests for evaluation metrics."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import ComputationTime, Metric, MetricSet, PowerConsumption, Reward
+
+
+class TestMetric:
+    def test_direction_validation(self):
+        with pytest.raises(ValueError):
+            Metric(name="x", direction="up")
+        with pytest.raises(ValueError):
+            Metric(name="")
+
+    def test_extract_by_name(self):
+        m = Metric(name="latency", direction="min")
+        assert m.extract({"latency": 3.0}) == 3.0
+
+    def test_extract_by_custom_key(self):
+        m = Metric(name="latency", direction="min", key="p99")
+        assert m.extract({"p99": 9.0}) == 9.0
+
+    def test_extract_missing_raises_with_available(self):
+        m = Metric(name="x", direction="min")
+        with pytest.raises(KeyError, match="available"):
+            m.extract({"y": 1.0})
+
+    def test_better(self):
+        assert Metric(name="t", direction="min").better(1.0, 2.0)
+        assert Metric(name="r", direction="max").better(2.0, 1.0)
+        assert not Metric(name="t", direction="min").better(2.0, 1.0)
+
+    def test_label(self):
+        assert Metric(name="t", unit="s").label() == "t (s)"
+        assert Metric(name="t").label() == "t"
+
+
+class TestBuiltins:
+    def test_paper_metric_directions(self):
+        assert Reward().maximize
+        assert not ComputationTime().maximize
+        assert not PowerConsumption().maximize
+
+    def test_paper_metric_names(self):
+        assert Reward().name == "reward"
+        assert ComputationTime().name == "computation_time"
+        assert PowerConsumption().name == "power_consumption"
+
+
+class TestMetricSet:
+    def paper_set(self):
+        return MetricSet([Reward(), ComputationTime(), PowerConsumption()])
+
+    def test_lookup(self):
+        ms = self.paper_set()
+        assert ms["reward"].maximize
+        assert "reward" in ms
+        assert "bandwidth" not in ms
+        with pytest.raises(KeyError):
+            ms["bandwidth"]
+
+    def test_order_preserved(self):
+        ms = self.paper_set()
+        assert ms.names == ["reward", "computation_time", "power_consumption"]
+        assert ms.directions() == ["max", "min", "min"]
+
+    def test_extract_all(self):
+        ms = self.paper_set()
+        raw = {"reward": -0.4, "computation_time": 100.0, "power_consumption": 5.0, "x": 1}
+        assert ms.extract_all(raw) == {
+            "reward": -0.4,
+            "computation_time": 100.0,
+            "power_consumption": 5.0,
+        }
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            MetricSet([])
+
+    def test_duplicates_rejected(self):
+        with pytest.raises(ValueError):
+            MetricSet([Reward(), Reward()])

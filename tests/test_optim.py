@@ -1,0 +1,118 @@
+"""Tests for the optimizers."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.rl import SGD, Adam, Parameter
+
+
+def quadratic_param(start=5.0):
+    return Parameter("x", np.array([float(start)]))
+
+
+def quadratic_grad(p: Parameter) -> None:
+    # f(x) = 0.5 x^2 → grad = x
+    p.zero_grad()
+    p.grad += p.value
+
+
+class TestSGD:
+    def test_basic_descent(self):
+        p = quadratic_param()
+        opt = SGD([p], lr=0.1)
+        for _ in range(100):
+            quadratic_grad(p)
+            opt.step()
+        assert abs(p.value[0]) < 1e-3
+
+    def test_momentum_accelerates(self):
+        plain, heavy = quadratic_param(), quadratic_param()
+        sgd = SGD([plain], lr=0.01)
+        mom = SGD([heavy], lr=0.01, momentum=0.9)
+        for _ in range(50):
+            quadratic_grad(plain)
+            sgd.step()
+            quadratic_grad(heavy)
+            mom.step()
+        assert abs(heavy.value[0]) < abs(plain.value[0])
+
+    def test_update_in_place_preserves_reference(self):
+        p = quadratic_param()
+        ref = p.value
+        opt = SGD([p], lr=0.1)
+        quadratic_grad(p)
+        opt.step()
+        assert p.value is ref
+
+    def test_invalid_momentum(self):
+        with pytest.raises(ValueError):
+            SGD([quadratic_param()], lr=0.1, momentum=1.0)
+
+
+class TestAdam:
+    def test_converges_on_quadratic(self):
+        p = quadratic_param()
+        opt = Adam([p], lr=0.3)
+        for _ in range(300):
+            quadratic_grad(p)
+            opt.step()
+        assert abs(p.value[0]) < 1e-3
+
+    def test_first_step_size_is_lr(self):
+        # with bias correction the very first |Δx| equals lr regardless of grad scale
+        for scale in (1e-3, 1.0, 1e3):
+            p = Parameter("x", np.array([0.0]))
+            opt = Adam([p], lr=0.1)
+            p.grad += scale
+            opt.step()
+            assert abs(p.value[0]) == pytest.approx(0.1, rel=1e-2)  # up to eps effects
+
+    def test_step_counter(self):
+        p = quadratic_param()
+        opt = Adam([p], lr=0.1)
+        assert opt.t == 0
+        quadratic_grad(p)
+        opt.step()
+        assert opt.t == 1
+
+    def test_zero_grad_helper(self):
+        p = quadratic_param()
+        opt = Adam([p], lr=0.1)
+        p.grad += 3.0
+        opt.zero_grad()
+        assert np.all(p.grad == 0.0)
+
+    def test_invalid_lr(self):
+        with pytest.raises(ValueError):
+            Adam([quadratic_param()], lr=0.0)
+
+    def test_invalid_betas(self):
+        with pytest.raises(ValueError):
+            Adam([quadratic_param()], lr=0.1, betas=(1.0, 0.999))
+
+    def test_empty_params(self):
+        with pytest.raises(ValueError):
+            Adam([], lr=0.1)
+
+    def test_rosenbrock_progress(self):
+        # a harder 2-D surface: Adam must make steady progress
+        p = Parameter("xy", np.array([-1.0, 1.0]))
+        opt = Adam([p], lr=0.02)
+
+        def grad():
+            x, y = p.value
+            p.zero_grad()
+            p.grad[0] = -2 * (1 - x) - 400 * x * (y - x**2)
+            p.grad[1] = 200 * (y - x**2)
+
+        def loss():
+            x, y = p.value
+            return (1 - x) ** 2 + 100 * (y - x**2) ** 2
+
+        start = loss()
+        for _ in range(500):
+            grad()
+            opt.step()
+        assert loss() < start * 0.01

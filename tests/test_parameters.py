@@ -1,0 +1,187 @@
+"""Tests for parameter spaces."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import Boolean, Categorical, Float, Integer, ParameterSpace
+
+
+class TestCategorical:
+    def test_sample_from_choices(self, rng):
+        p = Categorical("framework", ["a", "b", "c"])
+        assert all(p.sample(rng) in ("a", "b", "c") for _ in range(20))
+
+    def test_grid_preserves_order(self):
+        p = Categorical("x", [3, 5, 8])
+        assert p.grid() == [3, 5, 8]
+
+    def test_contains(self):
+        p = Categorical("x", [3, 5, 8])
+        assert p.contains(5)
+        assert not p.contains(4)
+
+    def test_empty_choices_rejected(self):
+        with pytest.raises(ValueError):
+            Categorical("x", [])
+
+    def test_duplicate_choices_rejected(self):
+        with pytest.raises(ValueError):
+            Categorical("x", [1, 1])
+
+    def test_kind_validation(self):
+        with pytest.raises(ValueError):
+            Categorical("x", [1], kind="hardware")
+
+    def test_cardinality(self):
+        assert Categorical("x", [1, 2, 3]).cardinality == 3
+
+
+class TestInteger:
+    def test_sample_in_range(self, rng):
+        p = Integer("n", 2, 6)
+        samples = {p.sample(rng) for _ in range(300)}
+        assert samples == {2, 3, 4, 5, 6}
+
+    def test_log_sampling_biased_low(self, rng):
+        p = Integer("n", 1, 1000, log=True)
+        samples = [p.sample(rng) for _ in range(2000)]
+        assert np.median(samples) < 100
+
+    def test_grid_small_range_exhaustive(self):
+        assert Integer("n", 1, 4).grid() == [1, 2, 3, 4]
+
+    def test_grid_large_range_subsampled(self):
+        g = Integer("n", 0, 1000).grid()
+        assert len(g) <= 16
+        assert g[0] == 0 and g[-1] == 1000
+
+    def test_contains_rejects_floats(self):
+        p = Integer("n", 1, 5)
+        assert p.contains(3)
+        assert not p.contains(3.5)
+        assert not p.contains(6)
+
+    def test_invalid_range(self):
+        with pytest.raises(ValueError):
+            Integer("n", 5, 1)
+
+    def test_log_needs_positive_low(self):
+        with pytest.raises(ValueError):
+            Integer("n", 0, 10, log=True)
+
+
+class TestFloat:
+    def test_sample_in_range(self, rng):
+        p = Float("lr", 0.1, 0.9)
+        for _ in range(50):
+            assert 0.1 <= p.sample(rng) <= 0.9
+
+    def test_log_sampling(self, rng):
+        p = Float("lr", 1e-5, 1e-1, log=True)
+        samples = np.array([p.sample(rng) for _ in range(2000)])
+        # log-uniform: median near geometric mean 1e-3
+        assert 3e-4 < np.median(samples) < 3e-3
+
+    def test_infinite_cardinality(self):
+        assert np.isinf(Float("x", 0, 1).cardinality)
+
+    def test_invalid_range(self):
+        with pytest.raises(ValueError):
+            Float("x", 1.0, 1.0)
+
+    def test_grid_endpoints(self):
+        g = Float("x", 0.0, 1.0).grid()
+        assert g[0] == pytest.approx(0.0)
+        assert g[-1] == pytest.approx(1.0)
+
+
+class TestBoolean:
+    def test_choices(self):
+        p = Boolean("wind", kind="environment")
+        assert p.grid() == [False, True]
+        assert p.kind == "environment"
+
+
+class TestParameterSpace:
+    def make_space(self):
+        return ParameterSpace(
+            parameters=[
+                Categorical("rk", [3, 5, 8], kind="environment"),
+                Categorical("fw", ["rllib", "stable"], kind="algorithm"),
+                Categorical("nodes", [1, 2], kind="system"),
+            ],
+            constraints=[lambda v: v["nodes"] == 1 or v["fw"] == "rllib"],
+        )
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(ValueError):
+            ParameterSpace([Categorical("x", [1]), Categorical("x", [2])])
+
+    def test_lookup(self):
+        space = self.make_space()
+        assert space["rk"].choices == (3, 5, 8)
+        assert "fw" in space
+        with pytest.raises(KeyError):
+            space["nope"]
+
+    def test_by_kind(self):
+        space = self.make_space()
+        assert [p.name for p in space.by_kind("environment")] == ["rk"]
+        assert [p.name for p in space.by_kind("system")] == ["nodes"]
+        with pytest.raises(ValueError):
+            space.by_kind("hardware")
+
+    def test_sample_respects_constraints(self, rng):
+        space = self.make_space()
+        for _ in range(100):
+            values = space.sample(rng)
+            assert space.is_valid(values)
+            if values["nodes"] == 2:
+                assert values["fw"] == "rllib"
+
+    def test_unsatisfiable_constraints_raise(self, rng):
+        space = ParameterSpace(
+            [Categorical("x", [1, 2])], constraints=[lambda v: False]
+        )
+        with pytest.raises(RuntimeError):
+            space.sample(rng, max_tries=50)
+
+    def test_grid_filters_constraints(self):
+        space = self.make_space()
+        configs = list(space.grid())
+        # 3*2*2 = 12 raw, minus rows with nodes=2 & fw=stable (3) → 9
+        assert len(configs) == 9
+        assert all(space.is_valid(c) for c in configs)
+        assert space.grid_size() == 9
+
+    def test_cardinality_upper_bound(self):
+        assert self.make_space().cardinality == 12
+
+    def test_validate_messages(self):
+        space = self.make_space()
+        with pytest.raises(ValueError, match="keys mismatch"):
+            space.validate({"rk": 3})
+        with pytest.raises(ValueError, match="not valid"):
+            space.validate({"rk": 4, "fw": "rllib", "nodes": 1})
+        with pytest.raises(ValueError, match="constraint"):
+            space.validate({"rk": 3, "fw": "stable", "nodes": 2})
+
+    def test_is_valid_rejects_extra_keys(self):
+        space = self.make_space()
+        assert not space.is_valid({"rk": 3, "fw": "rllib", "nodes": 1, "extra": 1})
+
+    def test_grid_size_undefined_for_continuous(self):
+        space = ParameterSpace([Float("x", 0, 1)])
+        with pytest.raises(ValueError):
+            space.grid_size()
+
+    @given(st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=30, deadline=None)
+    def test_sampling_always_valid_property(self, seed):
+        space = self.make_space()
+        values = space.sample(np.random.default_rng(seed))
+        assert space.is_valid(values)

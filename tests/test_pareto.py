@@ -1,0 +1,225 @@
+"""Unit + property tests for the Pareto machinery."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.core import (
+    crowding_distance,
+    dominates,
+    epsilon_filter,
+    hypervolume_2d,
+    hypervolume_mc,
+    knee_point,
+    non_dominated_mask,
+    pareto_fronts,
+    to_minimization,
+)
+
+
+class TestToMinimization:
+    def test_flips_max_columns(self):
+        pts = np.array([[1.0, 2.0]])
+        out = to_minimization(pts, ["min", "max"])
+        assert np.allclose(out, [[1.0, -2.0]])
+
+    def test_rejects_bad_direction(self):
+        with pytest.raises(ValueError):
+            to_minimization(np.zeros((1, 2)), ["min", "up"])
+
+    def test_rejects_wrong_length(self):
+        with pytest.raises(ValueError):
+            to_minimization(np.zeros((1, 2)), ["min"])
+
+    def test_rejects_1d(self):
+        with pytest.raises(ValueError):
+            to_minimization(np.zeros(3), ["min", "min", "min"])
+
+
+class TestDominates:
+    def test_strict_dominance(self):
+        assert dominates([1, 1], [2, 2])
+        assert dominates([1, 2], [2, 2])
+        assert not dominates([2, 2], [1, 1])
+
+    def test_equal_points_do_not_dominate(self):
+        assert not dominates([1, 1], [1, 1])
+
+    def test_incomparable(self):
+        assert not dominates([1, 3], [2, 2])
+        assert not dominates([2, 2], [1, 3])
+
+
+class TestNonDominatedMask:
+    def test_simple_front(self):
+        pts = np.array([[1, 4], [2, 3], [3, 2], [2, 5], [4, 4]])
+        mask = non_dominated_mask(pts, ["min", "min"])
+        assert list(mask) == [True, True, True, False, False]
+
+    def test_max_direction(self):
+        pts = np.array([[1.0, 1.0], [2.0, 2.0]])
+        mask = non_dominated_mask(pts, ["max", "max"])
+        assert list(mask) == [False, True]
+
+    def test_mixed_directions(self):
+        # maximize reward, minimize time
+        pts = np.array([[-0.4, 60.0], [-0.9, 46.0], [-0.9, 70.0]])
+        mask = non_dominated_mask(pts, ["max", "min"])
+        assert list(mask) == [True, True, False]
+
+    def test_duplicates_all_kept(self):
+        pts = np.array([[1.0, 1.0], [1.0, 1.0]])
+        mask = non_dominated_mask(pts, ["min", "min"])
+        assert list(mask) == [True, True]
+
+    def test_empty(self):
+        assert non_dominated_mask(np.zeros((0, 2)), ["min", "min"]).size == 0
+
+    @given(
+        hnp.arrays(
+            np.float64,
+            st.tuples(st.integers(2, 20), st.just(3)),
+            elements=st.floats(-100, 100, allow_nan=False),
+        )
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_front_members_are_mutually_nondominated(self, pts):
+        mask = non_dominated_mask(pts, ["min", "min", "min"])
+        assert mask.any()  # a finite set always has a non-dominated point
+        front = pts[mask]
+        for i in range(len(front)):
+            for j in range(len(front)):
+                if i != j:
+                    assert not dominates(front[i], front[j])
+
+    @given(
+        hnp.arrays(
+            np.float64,
+            st.tuples(st.integers(2, 15), st.just(2)),
+            elements=st.floats(-50, 50, allow_nan=False),
+        )
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_dominated_points_have_witness(self, pts):
+        mask = non_dominated_mask(pts, ["min", "min"])
+        for i in np.where(~mask)[0]:
+            assert any(dominates(pts[j], pts[i]) for j in range(len(pts)))
+
+
+class TestParetoFronts:
+    def test_partition(self):
+        pts = np.array([[1, 1], [2, 2], [3, 3]])
+        fronts = pareto_fronts(pts, ["min", "min"])
+        assert [list(f) for f in fronts] == [[0], [1], [2]]
+
+    def test_every_point_in_exactly_one_front(self, rng):
+        pts = rng.standard_normal((30, 3))
+        fronts = pareto_fronts(pts, ["min", "min", "min"])
+        flat = np.concatenate(fronts)
+        assert sorted(flat) == list(range(30))
+
+    def test_front_order_is_dominance_layers(self, rng):
+        pts = rng.standard_normal((25, 2))
+        fronts = pareto_fronts(pts, ["min", "min"])
+        # no member of front k may dominate a member of front k-1
+        for k in range(1, len(fronts)):
+            for i in fronts[k]:
+                for j in fronts[k - 1]:
+                    assert not dominates(pts[i], pts[j])
+
+
+class TestCrowdingDistance:
+    def test_boundaries_infinite(self):
+        pts = np.array([[0.0, 3.0], [1.0, 2.0], [2.0, 1.0], [3.0, 0.0]])
+        d = crowding_distance(pts)
+        assert np.isinf(d[0]) and np.isinf(d[3])
+        assert np.isfinite(d[1]) and np.isfinite(d[2])
+
+    def test_small_fronts_all_infinite(self):
+        assert np.all(np.isinf(crowding_distance(np.array([[1.0, 2.0]]))))
+        assert np.all(np.isinf(crowding_distance(np.array([[1.0, 2.0], [2.0, 1.0]]))))
+
+    def test_denser_region_smaller_distance(self):
+        pts = np.array([[0.0, 10.0], [1.0, 9.0], [1.1, 8.9], [5.0, 5.0], [10.0, 0.0]])
+        d = crowding_distance(pts)
+        assert d[2] < d[3]
+
+
+class TestHypervolume:
+    def test_single_point_rectangle(self):
+        hv = hypervolume_2d(np.array([[1.0, 1.0]]), reference=[3.0, 3.0])
+        assert hv == pytest.approx(4.0)
+
+    def test_two_point_staircase(self):
+        pts = np.array([[1.0, 2.0], [2.0, 1.0]])
+        hv = hypervolume_2d(pts, reference=[3.0, 3.0])
+        # union of 2x1 and 1x2 rectangles, overlap 1x1 → 3
+        assert hv == pytest.approx(3.0)
+
+    def test_dominated_points_ignored(self):
+        pts = np.array([[1.0, 1.0], [2.0, 2.0]])
+        hv = hypervolume_2d(pts, reference=[3.0, 3.0])
+        assert hv == pytest.approx(4.0)
+
+    def test_points_beyond_reference_ignored(self):
+        pts = np.array([[4.0, 4.0]])
+        assert hypervolume_2d(pts, reference=[3.0, 3.0]) == 0.0
+
+    def test_max_directions(self):
+        pts = np.array([[2.0, 2.0]])
+        hv = hypervolume_2d(pts, reference=[0.0, 0.0], directions=["max", "max"])
+        assert hv == pytest.approx(4.0)
+
+    def test_monte_carlo_matches_exact_2d(self, rng):
+        pts = rng.uniform(0, 2, size=(6, 2))
+        exact = hypervolume_2d(pts, reference=[3.0, 3.0])
+        mc = hypervolume_mc(pts, [3.0, 3.0], ["min", "min"], n_samples=60_000, seed=1)
+        assert mc == pytest.approx(exact, rel=0.05)
+
+    def test_monte_carlo_3d_bounds(self, rng):
+        pts = rng.uniform(0, 1, size=(5, 3))
+        hv = hypervolume_mc(pts, [2.0, 2.0, 2.0], ["min", "min", "min"], seed=0)
+        assert 0.0 < hv <= 8.0
+
+    def test_hv_monotone_under_added_point(self, rng):
+        pts = rng.uniform(0, 2, size=(4, 2))
+        hv1 = hypervolume_2d(pts, reference=[3.0, 3.0])
+        better = np.vstack([pts, [[0.1, 0.1]]])
+        hv2 = hypervolume_2d(better, reference=[3.0, 3.0])
+        assert hv2 >= hv1
+
+
+class TestKneePoint:
+    def test_obvious_knee(self):
+        # an L-shaped front: the corner is the knee
+        pts = np.array([[0.0, 10.0], [1.0, 1.0], [10.0, 0.0]])
+        assert knee_point(pts, ["min", "min"]) == 1
+
+    def test_single_point(self):
+        assert knee_point(np.array([[1.0, 2.0]]), ["min", "min"]) == 0
+
+    def test_returns_front_member(self, rng):
+        pts = rng.standard_normal((20, 2))
+        k = knee_point(pts, ["min", "min"])
+        mask = non_dominated_mask(pts, ["min", "min"])
+        assert mask[k]
+
+
+class TestEpsilonFilter:
+    def test_keeps_spread_points(self):
+        pts = np.array([[0.0, 1.0], [0.01, 0.99], [1.0, 0.0]])
+        kept = epsilon_filter(pts, ["min", "min"], epsilon=0.1)
+        assert len(kept) == 2
+
+    def test_zero_epsilon_keeps_front(self, rng):
+        pts = rng.uniform(size=(10, 2))
+        kept = epsilon_filter(pts, ["min", "min"], epsilon=0.0)
+        assert len(kept) == non_dominated_mask(pts, ["min", "min"]).sum()
+
+    def test_negative_epsilon_rejected(self):
+        with pytest.raises(ValueError):
+            epsilon_filter(np.zeros((2, 2)), ["min", "min"], epsilon=-1.0)

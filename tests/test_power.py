@@ -1,0 +1,130 @@
+"""Tests for the CPU power model and energy accounting."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cluster import (
+    ClusterSimulator,
+    CPUPowerModel,
+    energy_from_trace,
+    paper_testbed,
+)
+
+
+class TestPowerCurve:
+    def test_idle_power(self):
+        model = CPUPowerModel(idle_w=10.0, dynamic_w=20.0)
+        assert model.power(0, 4) == pytest.approx(10.0)
+
+    def test_full_load(self):
+        model = CPUPowerModel(idle_w=10.0, dynamic_w=20.0)
+        assert model.power(4, 4) == pytest.approx(30.0)
+
+    def test_linear_interpolation(self):
+        model = CPUPowerModel(idle_w=10.0, dynamic_w=20.0, alpha=1.0)
+        assert model.power(2, 4) == pytest.approx(20.0)
+
+    def test_alpha_concavity(self):
+        concave = CPUPowerModel(idle_w=0.0, dynamic_w=10.0, alpha=0.5)
+        convex = CPUPowerModel(idle_w=0.0, dynamic_w=10.0, alpha=2.0)
+        assert concave.power(1, 4) > convex.power(1, 4)
+
+    def test_load_clipped(self):
+        model = CPUPowerModel(idle_w=0.0, dynamic_w=10.0)
+        assert model.power(10, 4) == pytest.approx(10.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CPUPowerModel(idle_w=-1.0)
+        with pytest.raises(ValueError):
+            CPUPowerModel(alpha=0.0)
+        with pytest.raises(ValueError):
+            CPUPowerModel().power(1, 0)
+
+
+class TestEnergyIntegration:
+    def test_idle_machine(self):
+        model = CPUPowerModel(idle_w=10.0, dynamic_w=20.0)
+        energy = model.energy(np.array([]), np.array([]), 4, horizon=100.0)
+        assert energy == pytest.approx(1000.0)
+
+    def test_piecewise_segments(self):
+        # busy 2 cores on [0, 10), idle on [10, 20)
+        model = CPUPowerModel(idle_w=10.0, dynamic_w=20.0)
+        times = np.array([0.0, 10.0])
+        busy = np.array([2, 0])
+        energy = model.energy(times, busy, 4, horizon=20.0)
+        assert energy == pytest.approx(20.0 * 10 + 10.0 * 10)
+
+    def test_zero_horizon(self):
+        model = CPUPowerModel()
+        assert model.energy(np.array([0.0]), np.array([1]), 4, horizon=0.0) == 0.0
+
+    def test_idle_lead_in_billed(self):
+        model = CPUPowerModel(idle_w=5.0, dynamic_w=0.0)
+        times = np.array([10.0])
+        busy = np.array([4])
+        energy = model.energy(times, busy, 4, horizon=20.0)
+        assert energy == pytest.approx(5.0 * 20.0)
+
+
+class TestEnergyFromTrace:
+    def test_only_allocated_nodes_billed(self):
+        sim = ClusterSimulator(paper_testbed(2))
+        sim.task("t", 0, duration=10.0, cores=4)
+        trace = sim.run()
+        model = CPUPowerModel(idle_w=10.0, dynamic_w=10.0)
+        one = energy_from_trace(trace, sim.spec, model, nodes_allocated=[0])
+        both = energy_from_trace(trace, sim.spec, model, nodes_allocated=[0, 1])
+        assert one.per_node_joules[1] == 0.0
+        assert both.per_node_joules[1] == pytest.approx(100.0)  # idle second node
+        assert both.total_joules > one.total_joules
+
+    def test_full_load_energy(self):
+        sim = ClusterSimulator(paper_testbed(1))
+        sim.task("t", 0, duration=60.0, cores=4)
+        trace = sim.run()
+        model = CPUPowerModel(idle_w=13.0, dynamic_w=28.0)
+        report = energy_from_trace(trace, sim.spec, model, nodes_allocated=[0])
+        assert report.total_joules == pytest.approx(41.0 * 60.0)
+        assert report.mean_power_w == pytest.approx(41.0)
+        assert report.total_kilojoules == pytest.approx(2.46)
+
+    def test_partial_utilization(self):
+        sim = ClusterSimulator(paper_testbed(1))
+        sim.task("t", 0, duration=100.0, cores=2)
+        trace = sim.run()
+        model = CPUPowerModel(idle_w=10.0, dynamic_w=20.0)
+        report = energy_from_trace(trace, sim.spec, model)
+        assert report.total_joules == pytest.approx((10 + 10) * 100.0)
+
+    def test_horizon_override(self):
+        sim = ClusterSimulator(paper_testbed(1))
+        sim.task("t", 0, duration=10.0, cores=4)
+        trace = sim.run()
+        model = CPUPowerModel(idle_w=10.0, dynamic_w=10.0)
+        report = energy_from_trace(trace, sim.spec, model, horizon=20.0)
+        assert report.total_joules == pytest.approx(20 * 10 + 10 * 10)
+
+    def test_spreading_work_pays_double_idle(self):
+        """The paper's §VI-B observation: spreading the same work over two
+        half-loaded nodes pays two idle-power floors, so it costs more
+        energy than packing one node."""
+        model = CPUPowerModel(idle_w=13.0, dynamic_w=28.0)
+
+        # 4 parallel tasks packed on one node (100% utilization)
+        sim1 = ClusterSimulator(paper_testbed(2))
+        for i in range(4):
+            sim1.task(f"t{i}", 0, duration=3600.0)
+        e1 = energy_from_trace(sim1.run(), sim1.spec, model, nodes_allocated=[0])
+
+        # the same 4 tasks spread 2+2 (both nodes 50% utilized)
+        sim2 = ClusterSimulator(paper_testbed(2))
+        for i in range(4):
+            sim2.task(f"t{i}", i % 2, duration=3600.0)
+        e2 = energy_from_trace(sim2.run(), sim2.spec, model, nodes_allocated=[0, 1])
+
+        assert sim2.makespan == pytest.approx(sim1.makespan)
+        assert e2.total_joules > e1.total_joules

@@ -1,0 +1,159 @@
+"""Tests for the sum-tree and prioritized replay buffer."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.rl import PrioritizedBatch, PrioritizedReplayBuffer, SACAgent, SACConfig, SumTree
+
+
+class TestSumTree:
+    def test_total_tracks_sets(self):
+        tree = SumTree(4)
+        tree.set(0, 1.0)
+        tree.set(1, 2.0)
+        tree.set(2, 3.0)
+        assert tree.total == pytest.approx(6.0)
+        tree.set(1, 0.5)
+        assert tree.total == pytest.approx(4.5)
+
+    def test_get_roundtrip(self):
+        tree = SumTree(8)
+        tree.set(5, 2.5)
+        assert tree.get(5) == pytest.approx(2.5)
+        assert tree.get(0) == 0.0
+
+    def test_find_respects_masses(self):
+        tree = SumTree(4)
+        tree.set(0, 1.0)
+        tree.set(1, 2.0)
+        tree.set(2, 3.0)
+        # prefix sums: [0,1), [1,3), [3,6)
+        assert tree.find(0.5) == 0
+        assert tree.find(1.5) == 1
+        assert tree.find(2.9) == 1
+        assert tree.find(3.1) == 2
+        assert tree.find(5.99) == 2
+
+    def test_find_empty_raises(self):
+        with pytest.raises(ValueError):
+            SumTree(4).find(0.5)
+
+    def test_non_power_of_two_capacity(self):
+        tree = SumTree(5)
+        for i in range(5):
+            tree.set(i, float(i + 1))
+        assert tree.total == pytest.approx(15.0)
+        assert tree.find(14.9) == 4
+
+    def test_bounds_checks(self):
+        tree = SumTree(4)
+        with pytest.raises(IndexError):
+            tree.set(4, 1.0)
+        with pytest.raises(ValueError):
+            tree.set(0, -1.0)
+
+    def test_sampling_distribution_matches_priorities(self, rng):
+        tree = SumTree(3)
+        tree.set(0, 1.0)
+        tree.set(1, 3.0)
+        tree.set(2, 6.0)
+        counts = np.zeros(3)
+        for _ in range(6000):
+            counts[tree.find(rng.uniform(0, tree.total))] += 1
+        freq = counts / counts.sum()
+        assert np.allclose(freq, [0.1, 0.3, 0.6], atol=0.03)
+
+
+class TestPrioritizedReplayBuffer:
+    def make(self, **kw):
+        defaults = dict(capacity=64, obs_dim=2, act_dim=1, alpha=0.6, beta=0.4)
+        defaults.update(kw)
+        return PrioritizedReplayBuffer(**defaults)
+
+    def fill(self, buf, n=20, rng=None):
+        rng = rng or np.random.default_rng(0)
+        for i in range(n):
+            buf.add(rng.standard_normal(2), rng.uniform(-1, 1, 1), float(i),
+                    rng.standard_normal(2), False)
+
+    def test_sample_shape_and_fields(self, rng):
+        buf = self.make()
+        self.fill(buf)
+        batch = buf.sample(8, rng)
+        assert isinstance(batch, PrioritizedBatch)
+        assert batch.observations.shape == (8, 2)
+        assert batch.weights.shape == (8,)
+        assert batch.indices.shape == (8,)
+        assert np.all(batch.weights <= 1.0 + 1e-12)
+        assert np.all(batch.weights > 0.0)
+
+    def test_new_items_have_max_priority(self, rng):
+        buf = self.make()
+        self.fill(buf, n=4)
+        # all equal priorities → uniform-ish sampling, weights == 1
+        batch = buf.sample(16, rng)
+        assert np.allclose(batch.weights, 1.0)
+
+    def test_update_priorities_bias_sampling(self, rng):
+        buf = self.make(alpha=1.0)
+        self.fill(buf, n=10)
+        # crush every priority except index 3
+        buf.update_priorities(np.arange(10), np.zeros(10))
+        buf.update_priorities(np.array([3]), np.array([100.0]))
+        batch = buf.sample(64, rng)
+        assert np.mean(batch.indices == 3) > 0.9
+
+    def test_empty_sample_raises(self, rng):
+        with pytest.raises(RuntimeError):
+            self.make().sample(4, rng)
+
+    def test_invalid_exponents(self):
+        with pytest.raises(ValueError):
+            self.make(alpha=1.5)
+        with pytest.raises(ValueError):
+            self.make(beta=-0.1)
+
+    def test_ring_overwrite(self, rng):
+        buf = self.make(capacity=8)
+        self.fill(buf, n=20)
+        assert len(buf) == 8
+        batch = buf.sample(8, rng)
+        assert np.all(batch.rewards >= 12)  # only the last 8 rewards remain
+
+    def test_alpha_zero_is_uniform(self, rng):
+        buf = self.make(alpha=0.0)
+        self.fill(buf, n=16)
+        buf.update_priorities(np.arange(16), np.linspace(0, 10, 16))
+        batch = buf.sample(2000, rng)
+        freq = np.bincount(batch.indices, minlength=16) / 2000
+        assert freq.max() < 0.12  # ≈ 1/16 each
+
+
+class TestSACWithPrioritizedReplay:
+    def test_learns_with_priorities(self):
+        agent = SACAgent(
+            2,
+            1,
+            SACConfig(
+                hidden_sizes=(32, 32),
+                learning_starts=64,
+                batch_size=64,
+                prioritized_replay=True,
+            ),
+            seed=0,
+        )
+        rng = np.random.default_rng(1)
+        obs = rng.standard_normal(2)
+        for _ in range(1200):
+            action = agent.act(obs[None])["action"][0]
+            reward = -float((action[0] - 0.5) ** 2)
+            next_obs = rng.standard_normal(2)
+            agent.observe(obs, action, reward, next_obs, False)
+            if agent.ready_to_update():
+                agent.update()
+            obs = next_obs
+        actions = agent.act(rng.standard_normal((100, 2)), deterministic=True)["action"]
+        assert abs(actions.mean() - 0.5) < 0.3
+        assert isinstance(agent.buffer, PrioritizedReplayBuffer)

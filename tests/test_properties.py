@@ -1,0 +1,134 @@
+"""Cross-cutting property-based tests (hypothesis) on core invariants."""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cluster import ClusterSimulator, paper_testbed
+from repro.core import non_dominated_mask
+from repro.rl import compute_gae
+
+
+class TestClusterSimulatorProperties:
+    @given(st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=25, deadline=None)
+    def test_random_dag_respects_dependencies(self, seed):
+        rng = np.random.default_rng(seed)
+        sim = ClusterSimulator(paper_testbed(2))
+        tasks = []
+        edges = []
+        for i in range(30):
+            n_deps = int(rng.integers(0, min(3, len(tasks)) + 1))
+            deps = (
+                [tasks[j] for j in rng.choice(len(tasks), size=n_deps, replace=False)]
+                if tasks and n_deps
+                else []
+            )
+            if rng.random() < 0.25 and deps:
+                t = sim.transfer(f"x{i}", int(rng.integers(2)), int(rng.integers(2)),
+                                 float(rng.uniform(0, 1e6)), deps=deps)
+            else:
+                t = sim.task(f"t{i}", int(rng.integers(2)), float(rng.uniform(0.0, 2.0)),
+                             cores=int(rng.integers(1, 5)), deps=deps)
+            for d in deps:
+                edges.append((d, t))
+            tasks.append(t)
+        sim.run()
+        # every dependency finished before its dependent started
+        for dep, task in edges:
+            assert dep.end_time is not None and task.start_time is not None
+            assert dep.end_time <= task.start_time + 1e-9
+        # every task ran
+        assert all(t.done for t in tasks)
+
+    @given(st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=25, deadline=None)
+    def test_makespan_bounds(self, seed):
+        """Makespan is at least the per-node work bound and at most the
+        serial sum of all durations."""
+        rng = np.random.default_rng(seed)
+        sim = ClusterSimulator(paper_testbed(2))
+        durations = []
+        node_work = {0: 0.0, 1: 0.0}
+        for i in range(20):
+            node = int(rng.integers(2))
+            cores = int(rng.integers(1, 5))
+            duration = float(rng.uniform(0.1, 2.0))
+            sim.task(f"t{i}", node, duration, cores=cores)
+            durations.append(duration)
+            node_work[node] += duration * cores
+        trace = sim.run()
+        lower = max(work / 4.0 for work in node_work.values())
+        assert trace.makespan >= lower - 1e-9
+        assert trace.makespan <= sum(durations) + 1e-9
+
+
+class TestGAEProperties:
+    @given(st.integers(min_value=0, max_value=10_000), st.integers(min_value=1, max_value=20))
+    @settings(max_examples=30, deadline=None)
+    def test_mc_returns_match_suffix_sums(self, seed, T):
+        """With gamma=1, lam=1, zero values and a terminal at the end, the
+        returns are exactly the undiscounted reward-to-go."""
+        rng = np.random.default_rng(seed)
+        rewards = rng.standard_normal((T, 1))
+        values = np.zeros((T, 1))
+        terms = np.zeros((T, 1))
+        terms[-1] = 1.0
+        adv, ret = compute_gae(rewards, values, terms, np.array([123.0]), 1.0, 1.0)
+        expected = np.cumsum(rewards[::-1])[::-1]
+        assert np.allclose(ret[:, 0], expected)
+
+    @given(st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=30, deadline=None)
+    def test_gae_interpolates_between_td_and_mc(self, seed):
+        """For every t: min(td, mc) <= gae(lam) <= max(td, mc) is not a
+        strict identity, but the lam=0/1 endpoints must match exactly."""
+        rng = np.random.default_rng(seed)
+        T = 8
+        rewards = rng.standard_normal((T, 1))
+        values = rng.standard_normal((T, 1))
+        terms = np.zeros((T, 1))
+        last = rng.standard_normal(1)
+
+        adv0, _ = compute_gae(rewards, values, terms, last, 0.97, 0.0)
+        next_vals = np.vstack([values[1:], last[None]])
+        td = rewards + 0.97 * next_vals - values
+        assert np.allclose(adv0, td)
+
+        adv1, ret1 = compute_gae(rewards, values, terms, last, 1.0, 1.0)
+        # lam=1, gamma=1: return_t = sum_{k>=t} r_k + last_value
+        expected = np.cumsum(rewards[::-1])[::-1] + last[0]
+        assert np.allclose(ret1[:, 0], expected)
+
+
+class TestParetoProperties:
+    @given(st.integers(min_value=0, max_value=10_000), st.integers(min_value=2, max_value=30))
+    @settings(max_examples=30, deadline=None)
+    def test_front_idempotent(self, seed, n):
+        pts = np.random.default_rng(seed).standard_normal((n, 2))
+        mask = non_dominated_mask(pts, ["min", "min"])
+        front = pts[mask]
+        mask2 = non_dominated_mask(front, ["min", "min"])
+        assert mask2.all()
+
+    @given(st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=30, deadline=None)
+    def test_adding_dominated_point_keeps_front(self, seed):
+        rng = np.random.default_rng(seed)
+        pts = rng.standard_normal((10, 2))
+        mask = non_dominated_mask(pts, ["min", "min"])
+        worst = pts.max(axis=0) + 1.0  # dominated by everything
+        extended = np.vstack([pts, worst])
+        mask2 = non_dominated_mask(extended, ["min", "min"])
+        assert not mask2[-1]
+        assert np.array_equal(mask, mask2[:-1])
+
+    @given(st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=30, deadline=None)
+    def test_direction_flip_symmetry(self, seed):
+        pts = np.random.default_rng(seed).standard_normal((12, 2))
+        mask_min = non_dominated_mask(pts, ["min", "min"])
+        mask_max = non_dominated_mask(-pts, ["max", "max"])
+        assert np.array_equal(mask_min, mask_max)

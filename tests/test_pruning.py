@@ -1,0 +1,62 @@
+"""Tests for the pruners."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import MedianPruner, NoPruner
+
+
+class TestNoPruner:
+    def test_never_prunes(self):
+        pruner = NoPruner()
+        for step in range(10):
+            assert pruner.report(1, step, -1000.0) is False
+
+
+class TestMedianPruner:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            MedianPruner(n_startup_trials=0)
+
+    def test_no_pruning_before_startup(self):
+        pruner = MedianPruner(n_startup_trials=3)
+        pruner.report(1, 0, 10.0)
+        pruner.finish(1)
+        # only one finished trial: never prune
+        assert pruner.report(2, 0, -100.0) is False
+
+    def test_prunes_below_median(self):
+        pruner = MedianPruner(n_startup_trials=2)
+        for trial_id, value in [(1, 10.0), (2, 8.0), (3, 12.0)]:
+            pruner.report(trial_id, 5, value)
+            pruner.finish(trial_id)
+        # median of peers at step 5 is 10 → 3.0 must prune
+        assert pruner.report(4, 5, 3.0) is True
+        # above the median → keep running
+        assert pruner.report(5, 5, 11.0) is False
+
+    def test_warmup_steps_protect_early_checkpoints(self):
+        pruner = MedianPruner(n_startup_trials=1, n_warmup_steps=10)
+        pruner.report(1, 20, 100.0)
+        pruner.finish(1)
+        assert pruner.report(2, 5, -100.0) is False  # step < warmup
+        assert pruner.report(2, 20, -100.0) is True
+
+    def test_comparison_uses_progress_matched_values(self):
+        pruner = MedianPruner(n_startup_trials=1)
+        # peer improved late: at step 1 its value was only 1.0
+        pruner.report(1, 1, 1.0)
+        pruner.report(1, 10, 50.0)
+        pruner.finish(1)
+        assert pruner.report(2, 1, 2.0) is False   # beats peer's step-1 value
+        assert pruner.report(2, 10, 10.0) is True  # loses at step 10
+
+    def test_interval_skips_checks(self):
+        pruner = MedianPruner(n_startup_trials=1, interval=3)
+        pruner.report(1, 5, 100.0)
+        pruner.finish(1)
+        # report counts 1 and 2 are off-interval
+        assert pruner.report(2, 5, -5.0) is False
+        assert pruner.report(2, 6, -5.0) is False
+        assert pruner.report(2, 7, -5.0) is True

@@ -1,0 +1,92 @@
+"""Tests for the text/ASCII report rendering."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import (
+    Configuration,
+    Metric,
+    MetricSet,
+    ParetoFrontRanking,
+    ResultsTable,
+    TrialResult,
+    render_ranking,
+    render_scatter,
+    render_table,
+)
+
+
+def build_table():
+    metrics = MetricSet(
+        [Metric(name="reward", direction="max"), Metric(name="time", direction="min", unit="s")]
+    )
+    table = ResultsTable(metrics)
+    data = [(1, -0.9, 46.0), (2, -0.5, 60.0), (3, -0.3, 80.0), (4, -1.5, 90.0)]
+    for i, r, t in data:
+        table.add(
+            TrialResult(
+                config=Configuration({"rk": 3}, trial_id=i),
+                objectives={"reward": r, "time": t},
+            )
+        )
+    return table
+
+
+class TestRenderTable:
+    def test_contains_all_rows_and_header(self):
+        text = render_table(build_table(), title="Results")
+        assert text.startswith("Results")
+        for token in ("id", "reward", "time", "status", "completed"):
+            assert token in text
+        assert len(text.splitlines()) == 1 + 2 + 4  # title + header/sep + rows
+
+    def test_aligned_columns(self):
+        lines = render_table(build_table()).splitlines()
+        header, sep = lines[0], lines[1]
+        assert len(header) == len(sep)
+
+
+class TestRenderScatter:
+    def test_plot_structure(self):
+        table = build_table()
+        mx, my = table.metrics["time"], table.metrics["reward"]
+        text = render_scatter(table.completed(), mx, my, front_ids=[1, 3], title="fig")
+        lines = text.splitlines()
+        assert lines[0] == "fig"
+        assert "#" in text  # front marker
+        assert "o" in text  # dominated marker
+        assert "time (s)" in text
+
+    def test_empty_trials(self):
+        table = build_table()
+        mx, my = table.metrics["time"], table.metrics["reward"]
+        assert "no completed trials" in render_scatter([], mx, my)
+
+    def test_size_validation(self):
+        table = build_table()
+        mx, my = table.metrics["time"], table.metrics["reward"]
+        with pytest.raises(ValueError):
+            render_scatter(table.completed(), mx, my, width=5, height=5)
+
+    def test_ids_labelled(self):
+        table = build_table()
+        mx, my = table.metrics["time"], table.metrics["reward"]
+        text = render_scatter(table.completed(), mx, my)
+        assert "1" in text and "3" in text
+
+
+class TestRenderRanking:
+    def test_front_and_knee_tags(self):
+        table = build_table()
+        ranking = ParetoFrontRanking(["reward", "time"]).rank(table)
+        text = render_ranking(ranking)
+        assert "FRONT" in text
+        assert "KNEE" in text
+        assert "trial" in text
+
+    def test_max_rows_truncates(self):
+        table = build_table()
+        ranking = ParetoFrontRanking(["reward", "time"]).rank(table)
+        text = render_ranking(ranking, max_rows=2)
+        assert "more)" in text

@@ -1,0 +1,117 @@
+"""Tests for the Optuna-style Study facade."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import MedianPruner, Study, TrialPruned
+
+
+class TestStudyBasics:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Study(direction="down")
+        with pytest.raises(ValueError):
+            Study(sampler="cmaes")
+
+    def test_minimize_quadratic(self):
+        study = Study(direction="minimize", sampler="tpe", seed=0)
+        study.optimize(lambda t: (t.suggest_float("x", -4, 4) - 1.0) ** 2, n_trials=40)
+        assert study.best_value < 0.5
+        assert abs(study.best_params["x"] - 1.0) < 1.0
+
+    def test_maximize_direction(self):
+        study = Study(direction="maximize", sampler="tpe", seed=0)
+        study.optimize(lambda t: -(t.suggest_float("x", -4, 4)) ** 2, n_trials=30)
+        assert study.best_value > -1.0
+
+    def test_random_sampler(self):
+        study = Study(direction="minimize", sampler="random", seed=1)
+        study.optimize(lambda t: t.suggest_float("x", 0, 1), n_trials=20)
+        assert len(study.trials) == 20
+        assert 0 <= study.best_value <= 1
+
+    def test_mixed_parameter_types(self):
+        def objective(trial):
+            x = trial.suggest_float("x", 0.0, 1.0)
+            n = trial.suggest_int("n", 1, 10)
+            algo = trial.suggest_categorical("algo", ["a", "b"])
+            return x + n + (0 if algo == "a" else 5)
+
+        study = Study(direction="minimize", sampler="tpe", seed=0)
+        study.optimize(objective, n_trials=30)
+        assert study.best_params["algo"] == "a"
+        assert study.best_params["n"] <= 5
+
+    def test_best_trial_empty_raises(self):
+        study = Study()
+        with pytest.raises(ValueError):
+            study.best_trial
+
+    def test_failed_trials_recorded(self):
+        def objective(trial):
+            x = trial.suggest_float("x", 0, 1)
+            if x < 2:  # always
+                raise RuntimeError("fail")
+            return x
+
+        study = Study(seed=0)
+        study.optimize(objective, n_trials=5)
+        assert all(t.state == "failed" for t in study.trials)
+        assert study.completed_trials == []
+
+    def test_new_parameter_after_discovery_rejected(self):
+        calls = {"n": 0}
+
+        def objective(trial):
+            calls["n"] += 1
+            trial.suggest_float("x", 0, 1)
+            if calls["n"] > 1:
+                trial.suggest_float("y", 0, 1)  # not in discovered space
+            return 0.0
+
+        study = Study(seed=0)
+        study.optimize(objective, n_trials=3)
+        # failure recorded, not raised
+        assert any(t.state == "failed" for t in study.trials)
+
+
+class TestStudyPruning:
+    def test_report_and_should_prune(self):
+        pruner = MedianPruner(n_startup_trials=1)
+
+        def objective(trial):
+            x = trial.suggest_float("x", 0, 1)
+            for step in range(1, 4):
+                trial.report(-x * step, step)  # higher is better
+                if trial.should_prune(step):
+                    raise TrialPruned
+            return x
+
+        study = Study(direction="minimize", sampler="random", seed=0, pruner=pruner)
+        study.optimize(objective, n_trials=10)
+        states = {t.state for t in study.trials}
+        assert "complete" in states
+        # at least one trial should have been pruned by the median rule
+        assert "pruned" in states
+
+    def test_pruned_trials_have_no_value(self):
+        def objective(trial):
+            trial.suggest_float("x", 0, 1)
+            raise TrialPruned
+
+        study = Study(seed=0)
+        study.optimize(objective, n_trials=3)
+        assert all(t.value is None and t.state == "pruned" for t in study.trials)
+
+    def test_intermediate_values_stored(self):
+        def objective(trial):
+            trial.suggest_float("x", 0, 1)
+            trial.report(1.0, 1)
+            trial.report(2.0, 2)
+            return 0.0
+
+        study = Study(seed=0)
+        study.optimize(objective, n_trials=2)
+        assert study.trials[0].intermediate == {1: 1.0, 2: 2.0}

@@ -1,0 +1,135 @@
+"""Tests for the TPE sampler."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import Categorical, Configuration, Float, Integer, ParameterSpace, TPESampler
+
+
+def quadratic_space():
+    return ParameterSpace([Float("x", -5.0, 5.0)])
+
+
+def drain_with_feedback(sampler, objective):
+    history = []
+    while True:
+        config = sampler.ask()
+        if config is None:
+            return history
+        value = objective(config)
+        sampler.tell(config, {"value": value})
+        history.append((config, value))
+
+
+class TestTPEBasics:
+    def test_budget_respected(self):
+        sampler = TPESampler(quadratic_space(), n_trials=12, seed=0)
+        history = drain_with_feedback(sampler, lambda c: c["x"] ** 2)
+        assert len(history) == 12
+
+    def test_startup_phase_is_random(self):
+        sampler = TPESampler(quadratic_space(), n_trials=5, n_startup=5, seed=0)
+        history = drain_with_feedback(sampler, lambda c: c["x"] ** 2)
+        xs = [c["x"] for c, _ in history]
+        assert len(set(xs)) == 5  # all distinct random draws
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TPESampler(quadratic_space(), n_trials=0)
+        with pytest.raises(ValueError):
+            TPESampler(quadratic_space(), n_trials=5, gamma=0.0)
+
+    def test_deterministic_given_seed(self):
+        def run():
+            sampler = TPESampler(quadratic_space(), n_trials=15, seed=3)
+            return [c["x"] for c, _ in drain_with_feedback(sampler, lambda c: c["x"] ** 2)]
+
+        assert run() == run()
+
+
+class TestTPEConvergence:
+    def test_beats_random_on_quadratic(self):
+        """Model-based proposals must concentrate near the optimum."""
+        from repro.core import RandomSearch
+
+        def best_of(explorer_factory, seeds):
+            bests = []
+            for seed in seeds:
+                explorer = explorer_factory(seed)
+                values = [v for _, v in drain_with_feedback(explorer, lambda c: c["x"] ** 2)]
+                bests.append(min(values))
+            return float(np.mean(bests))
+
+        seeds = range(6)
+        tpe_best = best_of(
+            lambda s: TPESampler(quadratic_space(), n_trials=40, seed=s, n_startup=8), seeds
+        )
+        rnd_best = best_of(
+            lambda s: RandomSearch(quadratic_space(), n_trials=40, seed=s, dedupe=False),
+            seeds,
+        )
+        assert tpe_best <= rnd_best * 1.05
+
+    def test_late_proposals_concentrate(self):
+        sampler = TPESampler(quadratic_space(), n_trials=60, seed=1, n_startup=10)
+        history = drain_with_feedback(sampler, lambda c: c["x"] ** 2)
+        early = [abs(c["x"]) for c, _ in history[:10]]
+        late = [abs(c["x"]) for c, _ in history[-10:]]
+        assert np.median(late) < np.median(early)
+
+    def test_categorical_concentrates_on_good_choice(self):
+        space = ParameterSpace([Categorical("algo", ["good", "bad", "ugly"])])
+        scores = {"good": 0.0, "bad": 5.0, "ugly": 10.0}
+        sampler = TPESampler(space, n_trials=60, seed=0, n_startup=10)
+        history = drain_with_feedback(sampler, lambda c: scores[c["algo"]])
+        late = [c["algo"] for c, _ in history[-20:]]
+        assert late.count("good") > 12
+
+    def test_integer_parameter(self):
+        space = ParameterSpace([Integer("n", 1, 50)])
+        sampler = TPESampler(space, n_trials=40, seed=2, n_startup=8)
+        history = drain_with_feedback(sampler, lambda c: (c["n"] - 7) ** 2)
+        late = [c["n"] for c, _ in history[-10:]]
+        assert np.median(np.abs(np.array(late) - 7)) <= 12
+
+    def test_log_float_parameter(self):
+        space = ParameterSpace([Float("lr", 1e-5, 1e0, log=True)])
+        sampler = TPESampler(space, n_trials=40, seed=4, n_startup=8)
+        # optimum at 1e-3
+        history = drain_with_feedback(
+            sampler, lambda c: abs(np.log10(c["lr"]) + 3.0)
+        )
+        late = [c["lr"] for c, _ in history[-10:]]
+        assert 1e-5 <= np.median(late) <= 1e-1
+
+    def test_constraints_respected(self):
+        space = ParameterSpace(
+            [Categorical("n", [1, 2]), Categorical("fw", ["r", "s"])],
+            constraints=[lambda v: v["n"] == 1 or v["fw"] == "r"],
+        )
+        sampler = TPESampler(space, n_trials=30, seed=0, n_startup=5)
+        history = drain_with_feedback(sampler, lambda c: float(c["n"]))
+        for config, _ in history:
+            assert space.is_valid(config.as_dict())
+
+    def test_custom_scalarization(self):
+        space = quadratic_space()
+        sampler = TPESampler(
+            space,
+            n_trials=30,
+            seed=5,
+            n_startup=8,
+            scalarize=lambda objs: -objs["reward"],  # maximize reward
+        )
+        history = []
+        while True:
+            config = sampler.ask()
+            if config is None:
+                break
+            reward = -(config["x"] - 2.0) ** 2
+            sampler.tell(config, {"reward": reward})
+            history.append((config, reward))
+        late = [c["x"] for c, _ in history[-8:]]
+        assert abs(np.median(late) - 2.0) < 2.0

@@ -1,0 +1,92 @@
+"""Tests for the wind/gust model."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.airdrop import WindConfig, WindModel
+
+
+class TestWindConfig:
+    def test_disabled_wind_is_zero(self):
+        cfg = WindConfig(enable_wind=False, wind_speed=10.0)
+        assert np.allclose(cfg.mean_wind, 0.0)
+
+    def test_enabled_wind_direction(self):
+        cfg = WindConfig(enable_wind=True, wind_speed=4.0, wind_direction_deg=0.0)
+        assert np.allclose(cfg.mean_wind, [4.0, 0.0])
+        cfg = WindConfig(enable_wind=True, wind_speed=4.0, wind_direction_deg=90.0)
+        assert np.allclose(cfg.mean_wind, [0.0, 4.0], atol=1e-12)
+
+    def test_invalid_probability(self):
+        with pytest.raises(ValueError):
+            WindConfig(gust_probability=1.5)
+
+    def test_invalid_magnitudes(self):
+        with pytest.raises(ValueError):
+            WindConfig(wind_speed=-1.0)
+        with pytest.raises(ValueError):
+            WindConfig(gust_decay_s=0.0)
+
+
+class TestWindModel:
+    def test_no_gusts_when_disabled(self, rng):
+        model = WindModel(WindConfig(enable_gusts=False, gust_probability=1.0))
+        for _ in range(20):
+            model.update(rng, 1.0)
+        assert model.gust_count == 0
+        assert np.allclose(model.current(), 0.0)
+
+    def test_gusts_fire_at_probability(self, rng):
+        model = WindModel(WindConfig(enable_gusts=True, gust_probability=0.5))
+        n = 2000
+        for _ in range(n):
+            model.update(rng, 1.0)
+        rate = model.gust_count / n
+        assert 0.45 < rate < 0.55
+
+    def test_gust_decays_exponentially(self, rng):
+        cfg = WindConfig(enable_gusts=True, gust_probability=1.0, gust_decay_s=2.0)
+        model = WindModel(cfg)
+        model.update(rng, 1.0)  # fire one gust
+        magnitude = np.linalg.norm(model.gust)
+        model.config = WindConfig(enable_gusts=False, gust_decay_s=2.0)
+        model.update(rng, 2.0)  # one decay constant
+        assert np.isclose(np.linalg.norm(model.gust), magnitude * np.exp(-1.0), rtol=1e-9)
+
+    def test_reset_clears_state(self, rng):
+        model = WindModel(WindConfig(enable_gusts=True, gust_probability=1.0))
+        model.update(rng, 1.0)
+        assert model.gust_count == 1
+        model.reset()
+        assert model.gust_count == 0
+        assert np.allclose(model.gust, 0.0)
+
+    def test_invalid_dt(self, rng):
+        model = WindModel()
+        with pytest.raises(ValueError):
+            model.update(rng, 0.0)
+
+    def test_current_combines_mean_and_gust(self, rng):
+        cfg = WindConfig(
+            enable_wind=True,
+            wind_speed=3.0,
+            wind_direction_deg=0.0,
+            enable_gusts=True,
+            gust_probability=1.0,
+        )
+        model = WindModel(cfg)
+        wind = model.update(rng, 1.0)
+        assert not np.allclose(wind, [3.0, 0.0])  # gust added
+        assert np.allclose(wind, cfg.mean_wind + model.gust)
+
+    def test_deterministic_given_rng(self):
+        cfg = WindConfig(enable_gusts=True, gust_probability=0.3)
+        a = WindModel(cfg)
+        b = WindModel(cfg)
+        ra, rb = np.random.default_rng(5), np.random.default_rng(5)
+        for _ in range(50):
+            wa = a.update(ra, 1.0)
+            wb = b.update(rb, 1.0)
+            assert np.allclose(wa, wb)
