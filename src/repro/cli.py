@@ -21,6 +21,11 @@ Commands
 ``calibration``
     Print the closed-form calibration predictions against the paper's
     timing anchors.
+
+``telemetry``
+    Summarize a JSONL telemetry log written by ``campaign --telemetry``
+    or convert it to Chrome trace-event JSON for Perfetto
+    (https://ui.perfetto.dev) / ``chrome://tracing``.
 """
 
 from __future__ import annotations
@@ -43,6 +48,14 @@ from repro.core import (
     parameter_importance,
     rank_loaded,
     render_table,
+)
+from repro.obs import (
+    JsonlSink,
+    Telemetry,
+    export_chrome,
+    load_records,
+    summarize,
+    validate_chrome_trace,
 )
 from repro.paper import (
     PAPER_ANCHORS,
@@ -70,6 +83,19 @@ def _add_campaign_parser(subparsers) -> None:
     p.add_argument("--trials", type=int, default=18, help="budget for non-table1 explorers")
     p.add_argument("--output", type=str, default=None, help="archive the report as JSON")
     p.add_argument("--no-plots", action="store_true")
+    p.add_argument(
+        "--telemetry",
+        type=str,
+        default=None,
+        metavar="FILE",
+        help="write a JSONL telemetry event log (off by default)",
+    )
+    p.add_argument(
+        "--seed-strategy",
+        choices=["fixed", "increment"],
+        default="fixed",
+        help="per-trial seeding: same base seed, or base_seed + trial_id",
+    )
 
 
 def _add_analyze_parser(subparsers) -> None:
@@ -92,6 +118,18 @@ def _add_calibration_parser(subparsers) -> None:
     subparsers.add_parser("calibration", help="print calibration vs paper anchors")
 
 
+def _add_telemetry_parser(subparsers) -> None:
+    p = subparsers.add_parser("telemetry", help="summarize or convert a telemetry log")
+    p.add_argument("log", type=str, help="JSONL file written by 'campaign --telemetry'")
+    p.add_argument(
+        "--export-chrome",
+        type=str,
+        default=None,
+        metavar="FILE",
+        help="write Chrome trace-event JSON (open in Perfetto / chrome://tracing)",
+    )
+
+
 def _make_explorer(args):
     space = airdrop_parameter_space()
     if args.explorer == "table1":
@@ -109,14 +147,23 @@ def _make_explorer(args):
 
 
 def _cmd_campaign(args) -> int:
+    telemetry = Telemetry(JsonlSink(args.telemetry)) if args.telemetry else None
     campaign = table1_campaign(
-        seed=args.seed, scale=Scale(real_steps=args.steps), explorer=_make_explorer(args)
+        seed=args.seed,
+        scale=Scale(real_steps=args.steps),
+        explorer=_make_explorer(args),
+        seed_strategy=args.seed_strategy,
+        telemetry=telemetry,
     )
 
     def progress(trial, n):
         print(f"  [{n:2d}] {trial.config.describe()} -> {trial.status}", flush=True)
 
-    report = campaign.run(progress=progress)
+    try:
+        report = campaign.run(progress=progress)
+    finally:
+        if telemetry is not None:
+            telemetry.close()
     print()
     print(report.render(plots=not args.no_plots))
     if args.explorer == "table1":
@@ -126,6 +173,38 @@ def _cmd_campaign(args) -> int:
     if args.output:
         dump_report(report, args.output)
         print(f"\nreport archived to {args.output}")
+    if args.telemetry:
+        print(f"\ntelemetry log written to {args.telemetry} "
+              f"(inspect with 'repro telemetry {args.telemetry}')")
+    return 0
+
+
+def _cmd_telemetry(args) -> int:
+    import json
+
+    try:
+        records = load_records(args.log)
+    except FileNotFoundError:
+        print(f"repro telemetry: no such log file: {args.log}", file=sys.stderr)
+        return 1
+    except json.JSONDecodeError as exc:
+        print(f"repro telemetry: {args.log} is not a JSONL telemetry log "
+              f"({exc})", file=sys.stderr)
+        return 1
+    if args.export_chrome:
+        payload = export_chrome(records, args.export_chrome)
+        problems = validate_chrome_trace(payload)
+        if problems:
+            print(f"exported trace is NOT schema-clean ({len(problems)} problems):")
+            for problem in problems[:10]:
+                print(f"  {problem}")
+            return 1
+        print(
+            f"wrote {len(payload['traceEvents'])} trace events to "
+            f"{args.export_chrome} — open in https://ui.perfetto.dev"
+        )
+        return 0
+    print(summarize(records))
     return 0
 
 
@@ -202,12 +281,14 @@ def main(argv: Sequence[str] | None = None) -> int:
     _add_analyze_parser(subparsers)
     _add_episode_parser(subparsers)
     _add_calibration_parser(subparsers)
+    _add_telemetry_parser(subparsers)
     args = parser.parse_args(argv)
     handler = {
         "campaign": _cmd_campaign,
         "analyze": _cmd_analyze,
         "episode": _cmd_episode,
         "calibration": _cmd_calibration,
+        "telemetry": _cmd_telemetry,
     }[args.command]
     return handler(args)
 

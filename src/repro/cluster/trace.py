@@ -100,3 +100,38 @@ class Trace:
             "n_transfers": float(len(self.transfers)),
             "bytes_transferred": self.bytes_transferred(),
         }
+
+    def to_records(self, **extra: object) -> list[dict]:
+        """Telemetry ``vspan`` records for every task and transfer.
+
+        Emitted into the telemetry stream after a simulated run so the
+        Chrome trace exporter (:mod:`repro.obs.export`) can lay the
+        virtual-time schedule out on its own per-node/per-link tracks.
+        ``extra`` key/values (e.g. ``framework=...``) are merged into
+        each record.
+        """
+        records: list[dict] = []
+        for t in self.tasks:
+            records.append({
+                "type": "vspan",
+                "kind": "task",
+                "name": t.name,
+                "node": t.node,
+                "cores": t.cores,
+                "start": t.start,
+                "end": t.end,
+                **extra,
+            })
+        for x in self.transfers:
+            records.append({
+                "type": "vspan",
+                "kind": "transfer",
+                "name": x.name,
+                "src": x.src,
+                "dst": x.dst,
+                "n_bytes": x.n_bytes,
+                "start": x.start,
+                "end": x.end,
+                **extra,
+            })
+        return records

@@ -6,7 +6,7 @@ from .analysis import (
     parameter_effects,
     parameter_importance,
 )
-from .campaign import Campaign, CaseStudy, DecisionReport
+from .campaign import SEED_STRATEGIES, Campaign, CaseStudy, DecisionReport
 from .configuration import Configuration
 from .exploration import Explorer, GridSearch, LatinHypercube, RandomSearch
 from .metrics import (
@@ -104,6 +104,7 @@ __all__ = [
     "Campaign",
     "CaseStudy",
     "DecisionReport",
+    "SEED_STRATEGIES",
     "Study",
     "Trial",
     "FrozenTrial",

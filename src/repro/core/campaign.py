@@ -17,11 +17,24 @@ results table, all rankings and their textual/ASCII renderings — the
 
 from __future__ import annotations
 
+import inspect
 import time
 import traceback
 from dataclasses import dataclass, field
 from typing import Any, Callable, Mapping, Protocol, runtime_checkable
 
+from ..obs import (
+    EVT_CAMPAIGN_FINISHED,
+    EVT_CAMPAIGN_STARTED,
+    EVT_CHECKPOINT,
+    EVT_EXPLORER_ASK,
+    EVT_EXPLORER_TELL,
+    EVT_TRIAL_FAILED,
+    EVT_TRIAL_FINISHED,
+    EVT_TRIAL_PRUNED,
+    EVT_TRIAL_STARTED,
+    Telemetry,
+)
 from .configuration import Configuration
 from .exploration import Explorer
 from .metrics import MetricSet
@@ -31,7 +44,7 @@ from .ranking import ParetoFrontRanking, Ranking, RankingMethod
 from .report import render_ranking, render_scatter, render_table
 from .results import ResultsTable, TrialResult, TrialStatus
 
-__all__ = ["CaseStudy", "Campaign", "DecisionReport", "ProgressCallback"]
+__all__ = ["CaseStudy", "Campaign", "DecisionReport", "ProgressCallback", "SEED_STRATEGIES"]
 
 
 @runtime_checkable
@@ -98,8 +111,26 @@ class DecisionReport:
         return "\n\n".join(sections)
 
 
+#: supported per-trial seed derivations
+SEED_STRATEGIES = ("fixed", "increment")
+
+
 class Campaign:
-    """Runs the methodology over a case study."""
+    """Runs the methodology over a case study.
+
+    ``seed_strategy`` controls per-trial seeding: ``"fixed"`` (default,
+    the paper's setup) evaluates every configuration with ``base_seed``;
+    ``"increment"`` derives ``base_seed + trial_id`` so repeated
+    configurations see different randomness. The resolved seed is stored
+    on each :class:`TrialResult` and in the telemetry events.
+
+    ``telemetry`` (optional) is a :class:`repro.obs.Telemetry`; when
+    given, the campaign emits structured events for every trial
+    lifecycle transition, wraps each evaluation in a ``trial`` span
+    (framework back-ends add ``rollout``/``update``/``weight_sync``
+    children), and collects per-trial/aggregate meters. ``None`` keeps
+    the zero-overhead no-op path.
+    """
 
     def __init__(
         self,
@@ -111,9 +142,15 @@ class Campaign:
         pruner: Pruner | None = None,
         base_seed: int = 0,
         raise_on_error: bool = False,
+        seed_strategy: str = "fixed",
+        telemetry: Telemetry | None = None,
     ) -> None:
         if not isinstance(case_study, CaseStudy):
             raise TypeError("case_study must implement evaluate(config, seed, progress)")
+        if seed_strategy not in SEED_STRATEGIES:
+            raise ValueError(
+                f"seed_strategy must be one of {SEED_STRATEGIES}, got {seed_strategy!r}"
+            )
         self.case_study = case_study
         self.space = space
         self.explorer = explorer
@@ -122,51 +159,97 @@ class Campaign:
         self.pruner = pruner or NoPruner()
         self.base_seed = int(base_seed)
         self.raise_on_error = bool(raise_on_error)
+        self.seed_strategy = seed_strategy
+        self.telemetry = Telemetry.or_null(telemetry)
+        self._pass_telemetry = _accepts_telemetry(case_study)
 
     def run(self, progress: ProgressCallback | None = None) -> DecisionReport:
         """Execute every trial the explorer proposes and rank the outcome."""
         table = ResultsTable(self.metrics, self.space)
+        telem = self.telemetry
         start = time.perf_counter()
+        telem.event(
+            EVT_CAMPAIGN_STARTED,
+            explorer=type(self.explorer).__name__,
+            seed_strategy=self.seed_strategy,
+            base_seed=self.base_seed,
+            metrics=list(self.metrics.names),
+        )
         while True:
             config = self.explorer.ask()
             if config is None:
                 break
+            telem.event(EVT_EXPLORER_ASK, trial_id=config.trial_id, config=config.as_dict())
             trial = self._run_trial(config)
             table.add(trial)
             if trial.ok:
                 self.explorer.tell(config, trial.objectives)
+                telem.event(
+                    EVT_EXPLORER_TELL, trial_id=config.trial_id, objectives=trial.objectives
+                )
                 self.pruner.finish(config.trial_id)
             if progress is not None:
                 progress(trial, len(table))
+        statuses = [t.status for t in table]
+        meta = {
+            "n_trials": len(table),
+            "n_completed": len(table.completed()),
+            "n_failed": statuses.count(TrialStatus.FAILED),
+            "n_pruned": statuses.count(TrialStatus.PRUNED),
+            "explorer": type(self.explorer).__name__,
+            "seed_strategy": self.seed_strategy,
+        }
+        if telem.enabled:
+            meta["telemetry"] = telem.meters.snapshot()
+        telem.event(EVT_CAMPAIGN_FINISHED, elapsed_s=time.perf_counter() - start, **{
+            k: v for k, v in meta.items() if k != "telemetry"
+        })
         rankings = {r.name: r.rank(table) for r in self.rankers} if table.completed() else {}
         return DecisionReport(
             table=table,
             rankings=rankings,
             elapsed_s=time.perf_counter() - start,
-            meta={
-                "n_trials": len(table),
-                "n_completed": len(table.completed()),
-                "explorer": type(self.explorer).__name__,
-            },
+            meta=meta,
         )
 
     # ------------------------------------------------------------ internals
+    def trial_seed(self, trial_id: int | None) -> int:
+        """The seed a trial runs with under the configured strategy."""
+        if self.seed_strategy == "increment" and trial_id is not None:
+            return self.base_seed + int(trial_id)
+        return self.base_seed
+
     def _run_trial(self, config: Configuration) -> TrialResult:
         self.space.validate(config.as_dict())
-        seed = self.base_seed
+        seed = self.trial_seed(config.trial_id)
         trial_id = config.trial_id
+        telem = self.telemetry
         pruned = False
 
         def progress_hook(step: int, value: float) -> bool:
             nonlocal pruned
+            if telem.enabled:
+                telem.event(EVT_CHECKPOINT, step=step, value=value)
             if self.pruner.report(trial_id, step, value):
                 pruned = True
                 return True
             return False
 
+        telem.set_context(trial_id=trial_id, seed=seed)
+        trial_meters = telem.push_meters()
+        telem.event(EVT_TRIAL_STARTED, config=config.as_dict())
+        kwargs: dict[str, Any] = {"progress": progress_hook}
+        if self._pass_telemetry:
+            kwargs["telemetry"] = telem
+        start = time.perf_counter()
         try:
-            measurements = dict(self.case_study.evaluate(config, seed, progress=progress_hook))
+            with telem.span("trial", trial_id=trial_id, seed=seed):
+                measurements = dict(self.case_study.evaluate(config, seed, **kwargs))
         except Exception as exc:  # noqa: BLE001 - campaign survives bad trials
+            duration = time.perf_counter() - start
+            telem.event(EVT_TRIAL_FAILED, error=repr(exc), duration_s=duration)
+            telem.pop_meters()
+            telem.clear_context("trial_id", "seed")
             if self.raise_on_error:
                 raise
             return TrialResult(
@@ -174,16 +257,47 @@ class Campaign:
                 objectives={},
                 status=TrialStatus.FAILED,
                 seed=seed,
+                duration_s=duration,
                 extras={"error": repr(exc), "traceback": traceback.format_exc()},
             )
+        duration = time.perf_counter() - start
         objectives = self.metrics.extract_all(measurements)
+        status = TrialStatus.PRUNED if pruned else TrialStatus.COMPLETED
+        telem.event(
+            EVT_TRIAL_PRUNED if pruned else EVT_TRIAL_FINISHED,
+            objectives=objectives,
+            duration_s=duration,
+        )
+        extras: dict[str, Any] = {}
+        if telem.enabled:
+            extras["telemetry"] = trial_meters.snapshot()
+        telem.pop_meters()
+        telem.clear_context("trial_id", "seed")
         return TrialResult(
             config=config,
             objectives=objectives,
-            status=TrialStatus.PRUNED if pruned else TrialStatus.COMPLETED,
+            status=status,
             seed=seed,
+            duration_s=duration,
             measurements={k: v for k, v in measurements.items() if isinstance(v, (int, float))},
+            extras=extras,
         )
+
+
+def _accepts_telemetry(case_study: CaseStudy) -> bool:
+    """Whether ``evaluate`` takes a ``telemetry=`` keyword.
+
+    The :class:`CaseStudy` protocol predates telemetry; studies opt in by
+    growing the keyword (as :class:`~repro.paper.AirdropCaseStudy` does)
+    and older two-argument studies keep working untouched.
+    """
+    try:
+        params = inspect.signature(case_study.evaluate).parameters
+    except (TypeError, ValueError):  # pragma: no cover - exotic callables
+        return False
+    return "telemetry" in params or any(
+        p.kind is inspect.Parameter.VAR_KEYWORD for p in params.values()
+    )
 
 
 def _default_rankers(metrics: MetricSet) -> list[RankingMethod]:

@@ -33,6 +33,8 @@ class TrialResult:
     objectives: dict[str, float]
     status: str = TrialStatus.COMPLETED
     seed: int = 0
+    #: real wall-clock seconds the evaluation took (0.0 when unmeasured)
+    duration_s: float = 0.0
     #: raw measurement dict the case study returned (superset of objectives)
     measurements: dict[str, float] = field(default_factory=dict)
     #: free-form extras: learning curve, diagnostics, error text...

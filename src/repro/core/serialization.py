@@ -43,6 +43,20 @@ def _jsonable(value: Any) -> Any:
     return str(value)
 
 
+def _jsonable_tree(value: Any) -> Any:
+    """Recursively coerce nested containers (for free-form extras).
+
+    Dicts/lists/tuples recurse (tuples become lists, as JSON demands);
+    leaves go through :func:`_jsonable`, so error reprs, tracebacks and
+    telemetry meter snapshots all survive a dump/load round-trip.
+    """
+    if isinstance(value, dict):
+        return {str(k): _jsonable_tree(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_jsonable_tree(v) for v in value]
+    return _jsonable(value)
+
+
 def table_to_dict(table: ResultsTable) -> dict[str, Any]:
     """Serialize a results table (metrics + every trial) to plain dicts."""
     return {
@@ -59,6 +73,8 @@ def table_to_dict(table: ResultsTable) -> dict[str, Any]:
                 "measurements": {k: float(v) for k, v in t.measurements.items()},
                 "status": t.status,
                 "seed": t.seed,
+                "duration_s": t.duration_s,
+                "extras": _jsonable_tree(t.extras),
             }
             for t in table
         ],
@@ -90,6 +106,8 @@ def table_from_dict(payload: dict[str, Any]) -> ResultsTable:
                 measurements=dict(row.get("measurements", {})),
                 status=row.get("status", "completed"),
                 seed=int(row.get("seed", 0)),
+                duration_s=float(row.get("duration_s", 0.0)),
+                extras=dict(row.get("extras", {})),
             )
         )
     return table

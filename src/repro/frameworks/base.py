@@ -20,12 +20,14 @@ methodology's metrics consume.
 
 from __future__ import annotations
 
+import time
 import zlib
 from dataclasses import dataclass, field, replace
 from typing import Any, Callable
 
 import numpy as np
 
+from ..obs import Telemetry
 from ..cluster import (
     ClusterSimulator,
     ClusterSpec,
@@ -252,24 +254,31 @@ class Framework:
         self,
         spec: TrainSpec,
         callback: Callable[[int, float], bool] | None = None,
+        telemetry: Telemetry | None = None,
     ) -> TrainResult:
         """Execute one learning configuration end to end.
 
         ``callback(real_steps, recent_reward)`` is invoked at every
         learning-curve checkpoint; returning ``True`` stops the run early
-        (the pruning hook of §III-C).
+        (the pruning hook of §III-C). ``telemetry`` (optional) receives
+        phase spans (rollout / update / weight_sync), per-trial meters
+        and the cluster simulator's virtual-time spans.
         """
         self.validate(spec)
+        telemetry = Telemetry.or_null(telemetry)
         if spec.algorithm == "ppo":
-            return self._train_ppo(spec, callback)
-        return self._train_sac(spec, callback)
+            return self._train_ppo(spec, callback, telemetry)
+        return self._train_sac(spec, callback, telemetry)
 
     # ---------------------------------------------------------------- PPO
     def _train_ppo(
         self,
         spec: TrainSpec,
         callback: Callable[[int, float], bool] | None = None,
+        telemetry: Telemetry | None = None,
     ) -> TrainResult:
+        telem = Telemetry.or_null(telemetry)
+        meters = telem.trial_meters
         layout = self.layout(spec)
         groups = layout.groups()
         n_workers = layout.n_workers
@@ -302,54 +311,66 @@ class Framework:
         steps_done = 0
         iteration = 0
         while steps_done < spec.total_steps:
-            buffer.reset()
-            # ---- real rollout collection (lockstep over workers, grouped
-            # by acting-policy version)
-            current_state = agent.policy_state()
-            for t in range(fragment):
-                obs_batch = np.stack([w.obs for w in workers])
-                actions = np.zeros((n_workers, act_dim))
-                log_probs = np.zeros(n_workers)
-                values = np.zeros(n_workers)
+            with telem.span("rollout", iteration=iteration) as rollout_span:
+                buffer.reset()
+                # ---- real rollout collection (lockstep over workers,
+                # grouped by acting-policy version)
+                current_state = agent.policy_state()
+                for t in range(fragment):
+                    obs_batch = np.stack([w.obs for w in workers])
+                    actions = np.zeros((n_workers, act_dim))
+                    log_probs = np.zeros(n_workers)
+                    values = np.zeros(n_workers)
+                    for node, members in groups.items():
+                        use_stale = layout.stale_remote_policy and node != layout.learner_node
+                        agent.load_policy_state(stale_state if use_stale else current_state)
+                        out = agent.act(obs_batch[members])
+                        actions[members] = out["action"]
+                        log_probs[members] = out["log_prob"]
+                        values[members] = out["value"]
+                    rewards = np.zeros(n_workers)
+                    terms = np.zeros(n_workers, dtype=bool)
+                    truncs = np.zeros(n_workers, dtype=bool)
+                    boots = np.zeros(n_workers)
+                    next_obs = np.zeros_like(obs_batch)
+                    for i, w in enumerate(workers):
+                        o, r, term, trunc, info = w.step(actions[i])
+                        rewards[i] = r
+                        terms[i] = term
+                        truncs[i] = trunc
+                        if term or trunc:
+                            landings.append(w.episode_score(info))
+                            if trunc and not term:
+                                boots[i] = agent.value(o[None])[0]
+                            o, _ = w.env.reset()
+                        w.obs = o
+                        next_obs[i] = o
+                    buffer.add(
+                        obs_batch, actions, log_probs, rewards, values, terms, truncs, boots
+                    )
+                last_values = np.zeros(n_workers)
                 for node, members in groups.items():
                     use_stale = layout.stale_remote_policy and node != layout.learner_node
                     agent.load_policy_state(stale_state if use_stale else current_state)
-                    out = agent.act(obs_batch[members])
-                    actions[members] = out["action"]
-                    log_probs[members] = out["log_prob"]
-                    values[members] = out["value"]
-                rewards = np.zeros(n_workers)
-                terms = np.zeros(n_workers, dtype=bool)
-                truncs = np.zeros(n_workers, dtype=bool)
-                boots = np.zeros(n_workers)
-                next_obs = np.zeros_like(obs_batch)
-                for i, w in enumerate(workers):
-                    o, r, term, trunc, info = w.step(actions[i])
-                    rewards[i] = r
-                    terms[i] = term
-                    truncs[i] = trunc
-                    if term or trunc:
-                        landings.append(w.episode_score(info))
-                        if trunc and not term:
-                            boots[i] = agent.value(o[None])[0]
-                        o, _ = w.env.reset()
-                    w.obs = o
-                    next_obs[i] = o
-                buffer.add(obs_batch, actions, log_probs, rewards, values, terms, truncs, boots)
-            last_values = np.zeros(n_workers)
-            for node, members in groups.items():
-                use_stale = layout.stale_remote_policy and node != layout.learner_node
-                agent.load_policy_state(stale_state if use_stale else current_state)
-                last_values[members] = agent.value(np.stack([workers[i].obs for i in members]))
-            buffer.finish(last_values)
-            agent.load_policy_state(current_state)
+                    last_values[members] = agent.value(
+                        np.stack([workers[i].obs for i in members])
+                    )
+                buffer.finish(last_values)
 
-            # shift staleness window: what was fresh is now stale
-            stale_state = fresh_state
-            fresh_state = current_state
+            with telem.span("weight_sync", iteration=iteration):
+                agent.load_policy_state(current_state)
+                # shift staleness window: what was fresh is now stale
+                stale_state = fresh_state
+                fresh_state = current_state
 
-            agent.update(buffer)
+            with telem.span("update", iteration=iteration) as update_span:
+                agent.update(buffer)
             steps_done += fragment * n_workers
+            if telem.enabled:
+                meters.histogram("ppo/rollout_s").observe(rollout_span.duration)
+                meters.histogram("ppo/update_s").observe(update_span.duration)
+                meters.counter("env_steps").inc(fragment * n_workers)
+                meters.counter("updates").inc()
 
             # ---- virtual execution DAG for this iteration
             learner = layout.learner_node
@@ -421,14 +442,17 @@ class Framework:
                     break
 
         trace = sim.run()
-        return self._finalize(spec, agent, trace, landings, curve, steps_done, layout)
+        return self._finalize(spec, agent, trace, landings, curve, steps_done, layout, telem)
 
     # ---------------------------------------------------------------- SAC
     def _train_sac(
         self,
         spec: TrainSpec,
         callback: Callable[[int, float], bool] | None = None,
+        telemetry: Telemetry | None = None,
     ) -> TrainResult:
+        telem = Telemetry.or_null(telemetry)
+        meters = telem.trial_meters
         layout = self.layout(spec)
         sampler_node = max(layout.groups())  # sampling lives on the last node
         learner = layout.learner_node
@@ -453,6 +477,13 @@ class Framework:
         block_updates = 0
         block_start = 0
         iteration = 0
+        # SAC interleaves acting and updating step by step, too finely to
+        # wrap phases lexically: each block becomes one "rollout" span and
+        # the block's accumulated update time one coalesced "update" child.
+        telem_on = telem.enabled
+        clock = time.perf_counter
+        block_t0 = clock()
+        update_acc = 0.0
         while steps_done < spec.total_steps:
             out = agent.act(obs[None])
             action = np.clip(out["action"][0], -1.0, 1.0)
@@ -466,7 +497,12 @@ class Framework:
             obs = next_obs
             steps_done += 1
             if agent.ready_to_update():
-                agent.update()
+                if telem_on:
+                    update_t0 = clock()
+                    agent.update()
+                    update_acc += clock() - update_t0
+                else:
+                    agent.update()
                 block_updates += spec.sac.updates_per_step
 
             if steps_done - block_start >= block or steps_done >= spec.total_steps:
@@ -505,6 +541,25 @@ class Framework:
                     )
                 else:
                     prev_task = sample_task
+                if telem_on:
+                    now = clock()
+                    rollout_span = telem.tracer.record(
+                        "rollout", block_t0, now, iteration=iteration, steps=n_steps
+                    )
+                    if update_acc > 0.0:
+                        telem.tracer.record(
+                            "update",
+                            now - update_acc,
+                            now,
+                            parent_id=rollout_span.span_id,
+                            iteration=iteration,
+                        )
+                        meters.histogram("sac/update_s").observe(update_acc)
+                    meters.histogram("sac/block_s").observe(now - block_t0)
+                    meters.counter("env_steps").inc(n_steps)
+                    meters.counter("updates").inc(block_updates)
+                    block_t0 = now
+                    update_acc = 0.0
                 block_updates = 0
                 block_start = steps_done
                 iteration += 1
@@ -515,7 +570,7 @@ class Framework:
                         break
 
         trace = sim.run()
-        return self._finalize(spec, agent, trace, landings, curve, steps_done, layout)
+        return self._finalize(spec, agent, trace, landings, curve, steps_done, layout, telem)
 
     # ------------------------------------------------------------ shared
     def _finalize(
@@ -527,8 +582,19 @@ class Framework:
         curve: list[tuple[int, float]],
         steps_done: int,
         layout: WorkerLayout,
+        telemetry: Telemetry | None = None,
     ) -> TrainResult:
-        eval_reward = self._evaluate(spec, agent)
+        telem = Telemetry.or_null(telemetry)
+        if telem.enabled:
+            telem.emit_records(
+                trace.to_records(framework=self.name, algorithm=spec.algorithm)
+            )
+            meters = telem.trial_meters
+            meters.counter("episodes").inc(len(landings))
+            meters.gauge("virtual_makespan_s").set(trace.makespan)
+            meters.gauge("bytes_transferred").set(trace.bytes_transferred())
+        with telem.span("evaluate", episodes=spec.eval_episodes):
+            eval_reward = self._evaluate(spec, agent)
         scale = spec.paper_steps / max(steps_done, 1)
         virtual_time = trace.makespan * scale
         nodes_used = sorted(set(layout.worker_nodes) | {layout.learner_node})

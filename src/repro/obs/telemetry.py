@@ -1,0 +1,172 @@
+"""The telemetry facade handed through the layers.
+
+One :class:`Telemetry` object travels campaign → case study → framework.
+It bundles the three instruments (event emission, span tracing, meters)
+behind a single handle, injects the ambient *context* (current trial id,
+seed, framework) into every record, and manages the per-trial meter
+registries the campaign pushes and pops around each evaluation.
+
+``Telemetry.disabled()`` returns the shared :class:`NullTelemetry`,
+whose every operation is a no-op — hot paths guard per-step work with
+``if telemetry.enabled`` and otherwise call straight through, so an
+un-instrumented run pays nothing measurable (see the benchmark in
+CHANGES.md).
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any
+
+from .events import Event, NullSink, RingBufferSink, Sink
+from .meters import NULL_METERS, MeterRegistry, NullMeterRegistry
+from .spans import NULL_TRACER, NullTracer, Span, SpanTracer
+
+__all__ = ["Telemetry", "NullTelemetry", "NULL_TELEMETRY"]
+
+
+class Telemetry:
+    """Live telemetry: events + spans + meters over one sink."""
+
+    enabled = True
+
+    def __init__(self, sink: Sink | None = None, keep_spans: bool = False) -> None:
+        self.sink = sink if sink is not None else RingBufferSink()
+        self.tracer = SpanTracer(emit=self._emit, keep=keep_spans)
+        #: campaign-level aggregate meters (per-trial registries merge in)
+        self.meters = MeterRegistry()
+        self._meter_stack: list[MeterRegistry] = []
+        self._context: dict[str, Any] = {}
+
+    # ------------------------------------------------------------- events
+    def event(self, name: str, **fields: Any) -> None:
+        """Emit a structured event record (context merged into fields)."""
+        if self._context:
+            fields = {**self._context, **fields}
+        self.sink.emit(Event(name=name, fields=fields).to_record())
+
+    # -------------------------------------------------------------- spans
+    def span(self, name: str, **fields: Any) -> Span:
+        """A context-manager span nested under the innermost open one."""
+        return self.tracer.span(name, **fields)
+
+    # ------------------------------------------------------------- meters
+    @property
+    def trial_meters(self) -> MeterRegistry:
+        """The registry instrumented code should write to right now."""
+        return self._meter_stack[-1] if self._meter_stack else self.meters
+
+    def push_meters(self) -> MeterRegistry:
+        """Start a fresh (per-trial) registry; returns it."""
+        registry = MeterRegistry()
+        self._meter_stack.append(registry)
+        return registry
+
+    def pop_meters(self) -> MeterRegistry:
+        """Close the innermost registry, merging it into the aggregate."""
+        registry = self._meter_stack.pop()
+        self.meters.merge(registry)
+        return registry
+
+    # ------------------------------------------------------------ context
+    def set_context(self, **fields: Any) -> None:
+        """Ambient key/values injected into every record until cleared."""
+        self._context.update(fields)
+
+    def clear_context(self, *names: str) -> None:
+        if not names:
+            self._context.clear()
+        for name in names:
+            self._context.pop(name, None)
+
+    @property
+    def context(self) -> dict[str, Any]:
+        return dict(self._context)
+
+    # ------------------------------------------------------------- records
+    def emit_record(self, record: dict[str, Any]) -> None:
+        """Forward a pre-built record (e.g. cluster vspans) with context."""
+        if self._context:
+            record = {**record, "ctx": {**self._context, **record.get("ctx", {})}}
+        self.sink.emit(record)
+
+    def emit_records(self, records: Any) -> None:
+        for record in records:
+            self.emit_record(record)
+
+    def _emit(self, record: dict[str, Any]) -> None:
+        """Span-tracer emit hook: attach context, forward to the sink."""
+        if self._context:
+            record = {**record, "ctx": dict(self._context)}
+        self.sink.emit(record)
+
+    # ------------------------------------------------------------ lifecycle
+    def close(self) -> None:
+        self.sink.close()
+
+    def __enter__(self) -> "Telemetry":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
+
+    @staticmethod
+    def clock() -> float:
+        """The monotonic clock spans and events share."""
+        return time.perf_counter()
+
+    @staticmethod
+    def disabled() -> "NullTelemetry":
+        return NULL_TELEMETRY
+
+    @staticmethod
+    def or_null(telemetry: "Telemetry | None") -> "Telemetry":
+        """Normalize an optional telemetry argument to a usable handle."""
+        return telemetry if telemetry is not None else NULL_TELEMETRY
+
+
+class NullTelemetry(Telemetry):
+    """Disabled telemetry: every operation is a no-op."""
+
+    enabled = False
+
+    def __init__(self) -> None:
+        self.sink = NullSink()
+        self.tracer: NullTracer = NULL_TRACER  # type: ignore[assignment]
+        self.meters: NullMeterRegistry = NULL_METERS  # type: ignore[assignment]
+        self._context: dict[str, Any] = {}
+
+    def event(self, name: str, **fields: Any) -> None:
+        pass
+
+    def span(self, name: str, **fields: Any):  # type: ignore[override]
+        return NULL_TRACER.span(name)
+
+    @property
+    def trial_meters(self) -> NullMeterRegistry:  # type: ignore[override]
+        return NULL_METERS
+
+    def push_meters(self) -> NullMeterRegistry:  # type: ignore[override]
+        return NULL_METERS
+
+    def pop_meters(self) -> NullMeterRegistry:  # type: ignore[override]
+        return NULL_METERS
+
+    def set_context(self, **fields: Any) -> None:
+        pass
+
+    def clear_context(self, *names: str) -> None:
+        pass
+
+    def emit_record(self, record: dict[str, Any]) -> None:
+        pass
+
+    def emit_records(self, records: Any) -> None:
+        pass
+
+    def close(self) -> None:
+        pass
+
+
+#: shared disabled instance — safe to pass anywhere a Telemetry is expected
+NULL_TELEMETRY = NullTelemetry()

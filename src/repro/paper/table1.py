@@ -33,6 +33,7 @@ from ..core import (
 )
 from ..core.pruning import Pruner
 from ..frameworks import TrainResult, TrainSpec, get_framework
+from ..obs import Telemetry
 from .calibration import DEFAULT_SCALE, Scale, default_power_model
 
 __all__ = [
@@ -143,13 +144,16 @@ class AirdropCaseStudy:
         config: Configuration,
         seed: int,
         progress: Callable[[int, float], bool] | None = None,
+        telemetry: Telemetry | None = None,
     ) -> dict[str, float]:
         framework = get_framework(
             str(config["framework"]),
             cluster=self.cluster,
             power_model=default_power_model(),
         )
-        result = framework.train(self.make_spec(config, seed), callback=progress)
+        result = framework.train(
+            self.make_spec(config, seed), callback=progress, telemetry=telemetry
+        )
         if self.keep_results and config.trial_id is not None:
             self.results[config.trial_id] = result
         scale = result.diagnostics.get("scale", 1.0)
@@ -204,6 +208,8 @@ def table1_campaign(
     explorer: Explorer | None = None,
     pruner: Pruner | None = None,
     env_kwargs: dict[str, Any] | None = None,
+    seed_strategy: str = "fixed",
+    telemetry: Telemetry | None = None,
 ) -> Campaign:
     """The full §V campaign: airdrop case study × 18 configs × 3 metrics.
 
@@ -221,4 +227,6 @@ def table1_campaign(
         rankers=paper_rankers(),
         pruner=pruner,
         base_seed=seed,
+        seed_strategy=seed_strategy,
+        telemetry=telemetry,
     )

@@ -1,0 +1,210 @@
+"""Tests for the Chrome trace exporter, including the golden structure test.
+
+Regenerate the golden expectation after an intentional format change with::
+
+    PYTHONPATH=src:. python tests/test_obs_export.py --regen
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+
+from repro.cluster import Trace
+from repro.cluster.trace import TaskSpan, TransferSpan
+from repro.core import Campaign, Categorical, GridSearch, Metric, MetricSet, ParameterSpace
+from repro.obs import (
+    RingBufferSink,
+    Telemetry,
+    chrome_trace,
+    export_chrome,
+    load_records,
+    span_tree,
+    summarize,
+    validate_chrome_trace,
+)
+
+GOLDEN_PATH = pathlib.Path(__file__).parent / "data" / "golden_trace.json"
+
+
+def toy_trace() -> Trace:
+    return Trace(
+        tasks=[
+            TaskSpan("rollout[0]w0", 0, 1, 0.0, 1.0),
+            TaskSpan("rollout[0]w1", 1, 1, 0.0, 1.2),
+            TaskSpan("ppo_update[0]", 0, 2, 1.2, 1.7),
+        ],
+        transfers=[TransferSpan("weights[0]n1", 0, 1, 1e6, 1.7, 1.9)],
+    )
+
+
+class GoldenCaseStudy:
+    """Deterministic study that exercises spans and virtual-time records."""
+
+    def evaluate(self, config, seed, progress=None, telemetry=None):
+        telem = Telemetry.or_null(telemetry)
+        with telem.span("rollout", iteration=0):
+            pass
+        with telem.span("update", iteration=0):
+            pass
+        telem.emit_records(toy_trace().to_records(framework="golden"))
+        return {"reward": float(config["quality"]), "time": 1.0}
+
+
+def golden_records() -> list[dict]:
+    """Run the deterministic 2-trial campaign and return its records."""
+    space = ParameterSpace([Categorical("quality", [1, 2])])
+    sink = RingBufferSink()
+    Campaign(
+        GoldenCaseStudy(),
+        space,
+        GridSearch(space),
+        MetricSet([Metric(name="reward", direction="max"),
+                   Metric(name="time", direction="min")]),
+        telemetry=Telemetry(sink),
+    ).run()
+    return sink.records
+
+
+def normalized(records: list[dict]) -> dict:
+    """Timestamp-free view: span nesting + (name, ph, cat, track) sequence."""
+    payload = chrome_trace(records)
+    tracks = {(0, 1, 1): "campaign"}
+    for ev in payload["traceEvents"]:
+        if ev["ph"] == "M" and ev["name"] == "thread_name":
+            tracks[(0, ev["pid"], ev["tid"])] = ev["args"]["name"]
+
+    def strip(node):
+        return {
+            "name": node["name"],
+            "fields": node["fields"],
+            "children": [strip(c) for c in node["children"]],
+        }
+
+    return {
+        "span_tree": [strip(n) for n in span_tree(records)],
+        "trace_events": [
+            {
+                "name": ev["name"],
+                "ph": ev["ph"],
+                "cat": ev.get("cat"),
+                "track": tracks[(0, ev["pid"], ev["tid"])],
+            }
+            for ev in payload["traceEvents"]
+            if ev["ph"] in ("X", "i")
+        ],
+    }
+
+
+class TestTraceRecords:
+    def test_to_records_shapes(self):
+        records = toy_trace().to_records(framework="fw")
+        tasks = [r for r in records if r["kind"] == "task"]
+        transfers = [r for r in records if r["kind"] == "transfer"]
+        assert len(tasks) == 3 and len(transfers) == 1
+        assert all(r["type"] == "vspan" and r["framework"] == "fw" for r in records)
+        assert transfers[0]["src"] == 0 and transfers[0]["dst"] == 1
+        assert tasks[0]["end"] - tasks[0]["start"] == 1.0
+
+
+class TestChromeTrace:
+    def test_trace_is_schema_clean(self):
+        payload = chrome_trace(golden_records())
+        assert validate_chrome_trace(payload) == []
+
+    def test_validator_flags_problems(self):
+        assert validate_chrome_trace({"traceEvents": "nope"})
+        bad = {"traceEvents": [{"ph": "X", "name": "n", "pid": 1, "tid": 1, "ts": 0}]}
+        assert any("dur" in p for p in validate_chrome_trace(bad))
+        assert validate_chrome_trace({"traceEvents": [{"ph": "Z"}]})
+
+    def test_real_and_virtual_clocks_get_separate_processes(self):
+        payload = chrome_trace(golden_records())
+        names = {
+            ev["pid"]: ev["args"]["name"]
+            for ev in payload["traceEvents"]
+            if ev["ph"] == "M" and ev["name"] == "process_name"
+        }
+        assert names == {1: "real-time (host)", 2: "virtual-time (cluster sim)"}
+        real = [ev for ev in payload["traceEvents"] if ev["ph"] == "X" and ev["pid"] == 1]
+        virtual = [ev for ev in payload["traceEvents"] if ev["ph"] == "X" and ev["pid"] == 2]
+        assert {ev["name"] for ev in real} >= {"trial", "rollout", "update"}
+        assert {ev["name"] for ev in virtual} == {
+            "rollout[0]w0", "rollout[0]w1", "ppo_update[0]", "weights[0]n1"
+        }
+
+    def test_virtual_tracks_split_by_trial_node_and_link(self):
+        payload = chrome_trace(golden_records())
+        labels = {
+            ev["args"]["name"]
+            for ev in payload["traceEvents"]
+            if ev["ph"] == "M" and ev["name"] == "thread_name" and ev["pid"] == 2
+        }
+        assert labels == {
+            "trial 1 · node 0", "trial 1 · node 1", "trial 1 · link 0→1",
+            "trial 2 · node 0", "trial 2 · node 1", "trial 2 · link 0→1",
+        }
+
+    def test_real_timestamps_rebased_to_zero(self):
+        payload = chrome_trace(golden_records())
+        real_ts = [
+            ev["ts"] for ev in payload["traceEvents"]
+            if ev["ph"] in ("X", "i") and ev["pid"] == 1
+        ]
+        assert min(real_ts) == 0.0
+
+    def test_export_writes_loadable_json(self, tmp_path):
+        path = str(tmp_path / "trace.json")
+        payload = export_chrome(golden_records(), path)
+        with open(path) as handle:
+            on_disk = json.load(handle)
+        assert on_disk["traceEvents"] == json.loads(json.dumps(payload["traceEvents"]))
+        assert on_disk["displayTimeUnit"] == "ms"
+
+    def test_summarize_smoke(self):
+        text = summarize(golden_records())
+        assert "events" in text and "span" in text and "virtual time" in text
+
+
+class TestGoldenTrace:
+    """Span names, track assignments and nesting are pinned by a golden file."""
+
+    def test_matches_checked_in_expectation(self):
+        expected = json.loads(GOLDEN_PATH.read_text())
+        assert normalized(golden_records()) == expected
+
+    def test_one_top_level_span_per_trial_with_phase_children(self):
+        tree = span_tree(golden_records())
+        assert [n["name"] for n in tree] == ["trial", "trial"]
+        for node in tree:
+            assert [c["name"] for c in node["children"]] == ["rollout", "update"]
+
+
+class TestJsonlEndToEnd:
+    def test_log_file_round_trips_through_exporter(self, tmp_path):
+        from repro.obs import JsonlSink
+
+        space = ParameterSpace([Categorical("quality", [1, 2])])
+        log = str(tmp_path / "log.jsonl")
+        telem = Telemetry(JsonlSink(log))
+        Campaign(
+            GoldenCaseStudy(), space, GridSearch(space),
+            MetricSet([Metric(name="reward", direction="max"),
+                       Metric(name="time", direction="min")]),
+            telemetry=telem,
+        ).run()
+        telem.close()
+        records = load_records(log)
+        out = str(tmp_path / "trace.json")
+        payload = export_chrome(records, out)
+        assert validate_chrome_trace(payload) == []
+        assert normalized(records) == json.loads(GOLDEN_PATH.read_text())
+
+
+if __name__ == "__main__":
+    import sys
+
+    if "--regen" in sys.argv:
+        GOLDEN_PATH.parent.mkdir(parents=True, exist_ok=True)
+        GOLDEN_PATH.write_text(json.dumps(normalized(golden_records()), indent=1) + "\n")
+        print(f"regenerated {GOLDEN_PATH}")
