@@ -49,6 +49,7 @@ from repro.core import (
     rank_loaded,
     render_table,
 )
+from repro.exec import EXECUTORS, CampaignJournal, JournalMismatch, RetryPolicy
 from repro.obs import (
     JsonlSink,
     Telemetry,
@@ -95,6 +96,49 @@ def _add_campaign_parser(subparsers) -> None:
         choices=["fixed", "increment"],
         default="fixed",
         help="per-trial seeding: same base seed, or base_seed + trial_id",
+    )
+    p.add_argument(
+        "--executor",
+        choices=sorted(EXECUTORS),
+        default="serial",
+        help="where trials run (results are identical across executors "
+        "for the non-adaptive explorers)",
+    )
+    p.add_argument(
+        "--max-workers",
+        type=int,
+        default=4,
+        metavar="N",
+        help="parallel trial slots for --executor thread/process",
+    )
+    p.add_argument(
+        "--trial-timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="per-trial deadline (thread/process executors only)",
+    )
+    p.add_argument(
+        "--retries",
+        type=int,
+        default=0,
+        metavar="N",
+        help="extra attempts for trials that fail/timeout/crash",
+    )
+    p.add_argument(
+        "--journal",
+        type=str,
+        default=None,
+        metavar="FILE",
+        help="checkpoint every finished trial to a JSONL journal",
+    )
+    p.add_argument(
+        "--resume",
+        type=str,
+        default=None,
+        metavar="FILE",
+        help="resume an interrupted campaign from its journal "
+        "(recorded trials are replayed, not re-evaluated)",
     )
 
 
@@ -148,12 +192,27 @@ def _make_explorer(args):
 
 def _cmd_campaign(args) -> int:
     telemetry = Telemetry(JsonlSink(args.telemetry)) if args.telemetry else None
+    journal = None
+    if args.resume:
+        try:
+            journal = CampaignJournal.resume(args.resume)
+        except FileNotFoundError as exc:
+            print(f"repro campaign: {exc}", file=sys.stderr)
+            return 1
+        print(f"resuming from {args.resume}: {journal.n_recorded} trials recorded")
+    elif args.journal:
+        journal = CampaignJournal(args.journal)
     campaign = table1_campaign(
         seed=args.seed,
         scale=Scale(real_steps=args.steps),
         explorer=_make_explorer(args),
         seed_strategy=args.seed_strategy,
         telemetry=telemetry,
+        executor=args.executor,
+        max_workers=args.max_workers,
+        retry=RetryPolicy(max_retries=args.retries) if args.retries else None,
+        trial_timeout=args.trial_timeout,
+        journal=journal,
     )
 
     def progress(trial, n):
@@ -161,9 +220,15 @@ def _cmd_campaign(args) -> int:
 
     try:
         report = campaign.run(progress=progress)
+    except JournalMismatch as exc:
+        print(f"repro campaign: {exc}", file=sys.stderr)
+        return 1
     finally:
         if telemetry is not None:
             telemetry.close()
+    if args.resume:
+        print(f"\nreplayed {report.meta.get('n_replayed', 0)} journaled trials "
+              f"without re-evaluation")
     print()
     print(report.render(plots=not args.no_plots))
     if args.explorer == "table1":

@@ -19,20 +19,24 @@ from __future__ import annotations
 
 import inspect
 import time
-import traceback
 from dataclasses import dataclass, field
 from typing import Any, Callable, Mapping, Protocol, runtime_checkable
 
+from ..exec import (
+    CampaignJournal,
+    Executor,
+    RetryPolicy,
+    SerialExecutor,
+    TrialOutcome,
+    TrialTask,
+    make_executor,
+)
 from ..obs import (
     EVT_CAMPAIGN_FINISHED,
     EVT_CAMPAIGN_STARTED,
-    EVT_CHECKPOINT,
     EVT_EXPLORER_ASK,
     EVT_EXPLORER_TELL,
-    EVT_TRIAL_FAILED,
-    EVT_TRIAL_FINISHED,
-    EVT_TRIAL_PRUNED,
-    EVT_TRIAL_STARTED,
+    EVT_TRIAL_RETRIED,
     Telemetry,
 )
 from .configuration import Configuration
@@ -115,6 +119,14 @@ class DecisionReport:
 SEED_STRATEGIES = ("fixed", "increment")
 
 
+@dataclass
+class _Replay:
+    """A journaled trial standing in for an evaluation on resume."""
+
+    trial: TrialResult
+    checkpoints: list[tuple[int, float]]
+
+
 class Campaign:
     """Runs the methodology over a case study.
 
@@ -130,6 +142,26 @@ class Campaign:
     (framework back-ends add ``rollout``/``update``/``weight_sync``
     children), and collects per-trial/aggregate meters. ``None`` keeps
     the zero-overhead no-op path.
+
+    ``executor`` selects where trials run: ``None`` (default) keeps the
+    historical inline serial path; a name from
+    :data:`repro.exec.EXECUTORS` (``"serial"``/``"thread"``/``"process"``,
+    sized by ``max_workers``) or a ready :class:`repro.exec.Executor`
+    instance enables parallel evaluation. Results are committed to the
+    table, explorer and pruner in **submission order** regardless of
+    completion order, and per-trial seeds derive from the trial id, so
+    ask-order-deterministic explorers produce identical tables on every
+    backend. (Adaptive explorers and the median pruner see staler
+    feedback under parallelism — same trade every parallel HPO system
+    makes; see :mod:`repro.core.tpe` for the constant-liar mitigation.)
+
+    ``retry`` (a :class:`repro.exec.RetryPolicy` or an int of max
+    retries) re-runs trials that fail/timeout/crash, with exponential
+    backoff; ``trial_timeout`` is a per-trial deadline in seconds
+    (enforced by the thread/process executors). ``journal`` is a
+    :class:`repro.exec.CampaignJournal`: every committed trial is
+    durably appended, and a journal opened with ``resume=True`` replays
+    recorded trials instead of re-evaluating them.
     """
 
     def __init__(
@@ -144,6 +176,11 @@ class Campaign:
         raise_on_error: bool = False,
         seed_strategy: str = "fixed",
         telemetry: Telemetry | None = None,
+        executor: Executor | str | None = None,
+        max_workers: int | None = None,
+        retry: RetryPolicy | int | None = None,
+        trial_timeout: float | None = None,
+        journal: CampaignJournal | None = None,
     ) -> None:
         if not isinstance(case_study, CaseStudy):
             raise TypeError("case_study must implement evaluate(config, seed, progress)")
@@ -161,12 +198,18 @@ class Campaign:
         self.raise_on_error = bool(raise_on_error)
         self.seed_strategy = seed_strategy
         self.telemetry = Telemetry.or_null(telemetry)
+        self.executor = executor
+        self.max_workers = max_workers
+        self.retry = RetryPolicy.of(retry)
+        self.trial_timeout = trial_timeout
+        self.journal = journal
         self._pass_telemetry = _accepts_telemetry(case_study)
 
     def run(self, progress: ProgressCallback | None = None) -> DecisionReport:
         """Execute every trial the explorer proposes and rank the outcome."""
         table = ResultsTable(self.metrics, self.space)
         telem = self.telemetry
+        executor = self._make_executor()
         start = time.perf_counter()
         telem.event(
             EVT_CAMPAIGN_STARTED,
@@ -174,22 +217,106 @@ class Campaign:
             seed_strategy=self.seed_strategy,
             base_seed=self.base_seed,
             metrics=list(self.metrics.names),
+            executor=executor.name,
+            max_workers=executor.max_workers,
         )
-        while True:
-            config = self.explorer.ask()
-            if config is None:
-                break
-            telem.event(EVT_EXPLORER_ASK, trial_id=config.trial_id, config=config.as_dict())
-            trial = self._run_trial(config)
-            table.add(trial)
-            if trial.ok:
-                self.explorer.tell(config, trial.objectives)
-                telem.event(
-                    EVT_EXPLORER_TELL, trial_id=config.trial_id, objectives=trial.objectives
-                )
-                self.pruner.finish(config.trial_id)
-            if progress is not None:
-                progress(trial, len(table))
+        if self.journal is not None:
+            self.journal.open(self.identity())
+        n_retried = 0
+        next_seq = 0  # seq of the next ask
+        commit_seq = 0  # seq of the next commit (strictly ordered)
+        exhausted = False
+        tasks: dict[int, TrialTask] = {}
+        ready: dict[int, TrialOutcome | _Replay] = {}
+        retry_due: dict[int, float] = {}  # seq -> monotonic resubmit time
+        try:
+            with executor:
+                while True:
+                    # fill the window: never run ahead of the committed
+                    # prefix by more than max_workers proposals
+                    while not exhausted and next_seq - commit_seq < executor.max_workers:
+                        config = self.explorer.ask()
+                        if config is None:
+                            exhausted = True
+                            break
+                        telem.event(
+                            EVT_EXPLORER_ASK,
+                            trial_id=config.trial_id,
+                            config=config.as_dict(),
+                        )
+                        self.space.validate(config.as_dict())
+                        hit = (
+                            self.journal.lookup(config)
+                            if self.journal is not None
+                            else None
+                        )
+                        if hit is not None:
+                            ready[next_seq] = _Replay(*hit)
+                            next_seq += 1
+                            continue
+                        task = TrialTask(
+                            seq=next_seq,
+                            config=config,
+                            seed=self.trial_seed(config.trial_id),
+                            case_study=self.case_study,
+                            pruner=self.pruner,
+                            pass_telemetry=self._pass_telemetry,
+                            telemetry_on=telem.enabled,
+                            telemetry=telem if executor.shares_telemetry else None,
+                            timeout_s=self.trial_timeout,
+                        )
+                        self.explorer.mark_pending(config)
+                        tasks[next_seq] = task
+                        executor.submit(task)
+                        next_seq += 1
+
+                    # resubmit retries whose backoff elapsed
+                    now = time.monotonic()
+                    for seq in [s for s, due in retry_due.items() if due <= now]:
+                        del retry_due[seq]
+                        executor.submit(tasks[seq])
+
+                    if executor.n_inflight:
+                        outcomes = executor.poll(0.1)
+                    else:
+                        if retry_due:
+                            earliest = min(retry_due.values()) - time.monotonic()
+                            if earliest > 0:
+                                time.sleep(min(0.1, earliest))
+                        outcomes = []
+
+                    for outcome in outcomes:
+                        task = tasks[outcome.seq]
+                        if outcome.retryable and self.retry.should_retry(outcome.attempt):
+                            n_retried += 1
+                            telem.event(
+                                EVT_TRIAL_RETRIED,
+                                trial_id=outcome.trial_id,
+                                attempt=outcome.attempt + 1,
+                                status=outcome.status,
+                                error=outcome.error,
+                            )
+                            tasks[outcome.seq] = task.retry()
+                            retry_due[outcome.seq] = (
+                                time.monotonic() + self.retry.delay(outcome.attempt)
+                            )
+                        else:
+                            ready[outcome.seq] = outcome
+
+                    # commit the contiguous finished prefix, in order
+                    while commit_seq in ready:
+                        entry = ready.pop(commit_seq)
+                        task = tasks.pop(commit_seq, None)
+                        trial = self._commit(entry, task, table, executor)
+                        commit_seq += 1
+                        if progress is not None:
+                            progress(trial, len(table))
+
+                    if exhausted and commit_seq == next_seq:
+                        break
+        finally:
+            if self.journal is not None:
+                self.journal.close()
         statuses = [t.status for t in table]
         meta = {
             "n_trials": len(table),
@@ -198,7 +325,13 @@ class Campaign:
             "n_pruned": statuses.count(TrialStatus.PRUNED),
             "explorer": type(self.explorer).__name__,
             "seed_strategy": self.seed_strategy,
+            "executor": executor.name,
+            "max_workers": executor.max_workers,
         }
+        if n_retried:
+            meta["n_retried"] = n_retried
+        if self.journal is not None:
+            meta["n_replayed"] = self.journal.n_replayed
         if telem.enabled:
             meta["telemetry"] = telem.meters.snapshot()
         telem.event(EVT_CAMPAIGN_FINISHED, elapsed_s=time.perf_counter() - start, **{
@@ -219,67 +352,105 @@ class Campaign:
             return self.base_seed + int(trial_id)
         return self.base_seed
 
-    def _run_trial(self, config: Configuration) -> TrialResult:
-        self.space.validate(config.as_dict())
-        seed = self.trial_seed(config.trial_id)
-        trial_id = config.trial_id
+    def identity(self) -> dict[str, Any]:
+        """The fields that must match for a journal resume to be valid."""
+        return {
+            "explorer": type(self.explorer).__name__,
+            "base_seed": self.base_seed,
+            "seed_strategy": self.seed_strategy,
+            "metrics": list(self.metrics.names),
+        }
+
+    def _make_executor(self) -> Executor:
+        if self.executor is None:
+            return SerialExecutor()
+        if isinstance(self.executor, str):
+            return make_executor(self.executor, self.max_workers)
+        return self.executor
+
+    def _commit(
+        self,
+        entry: "TrialOutcome | _Replay",
+        task: TrialTask | None,
+        table: ResultsTable,
+        executor: Executor,
+    ) -> TrialResult:
+        """Fold one finished trial into table/explorer/pruner/journal."""
         telem = self.telemetry
-        pruned = False
-
-        def progress_hook(step: int, value: float) -> bool:
-            nonlocal pruned
-            if telem.enabled:
-                telem.event(EVT_CHECKPOINT, step=step, value=value)
-            if self.pruner.report(trial_id, step, value):
-                pruned = True
-                return True
-            return False
-
-        telem.set_context(trial_id=trial_id, seed=seed)
-        trial_meters = telem.push_meters()
-        telem.event(EVT_TRIAL_STARTED, config=config.as_dict())
-        kwargs: dict[str, Any] = {"progress": progress_hook}
-        if self._pass_telemetry:
-            kwargs["telemetry"] = telem
-        start = time.perf_counter()
-        try:
-            with telem.span("trial", trial_id=trial_id, seed=seed):
-                measurements = dict(self.case_study.evaluate(config, seed, **kwargs))
-        except Exception as exc:  # noqa: BLE001 - campaign survives bad trials
-            duration = time.perf_counter() - start
-            telem.event(EVT_TRIAL_FAILED, error=repr(exc), duration_s=duration)
-            telem.pop_meters()
-            telem.clear_context("trial_id", "seed")
-            if self.raise_on_error:
-                raise
-            return TrialResult(
-                config=config,
-                objectives={},
-                status=TrialStatus.FAILED,
-                seed=seed,
-                duration_s=duration,
-                extras={"error": repr(exc), "traceback": traceback.format_exc()},
+        if isinstance(entry, _Replay):
+            trial = entry.trial
+            table.add(trial)
+            self.pruner.absorb(trial.trial_id, entry.checkpoints)
+            if trial.ok:
+                self.explorer.tell(trial.config, trial.objectives)
+                telem.event(
+                    EVT_EXPLORER_TELL,
+                    trial_id=trial.trial_id,
+                    objectives=trial.objectives,
+                )
+                self.pruner.finish(trial.trial_id)
+            return trial
+        outcome = entry
+        config = task.config
+        self.explorer.clear_pending(config)
+        if telem.enabled and not executor.shares_telemetry:
+            # buffered worker records: re-base clocks/span ids and fold in
+            delta = 0.0
+            if not executor.in_process:
+                delta = outcome.clock_offset - (time.time() - time.perf_counter())
+            telem.merge_records(outcome.records, worker=outcome.worker, clock_delta=delta)
+            if outcome.meters is not None:
+                telem.meters.merge(outcome.meters)
+        if not executor.in_process and outcome.checkpoints:
+            # the child only saw a pruner snapshot; replay its curve here
+            self.pruner.absorb(outcome.trial_id, outcome.checkpoints)
+        if not outcome.ok and self.raise_on_error:
+            if outcome.exception is not None:
+                raise outcome.exception
+            raise RuntimeError(
+                f"trial {outcome.trial_id} {outcome.status}: {outcome.error}"
             )
-        duration = time.perf_counter() - start
-        objectives = self.metrics.extract_all(measurements)
-        status = TrialStatus.PRUNED if pruned else TrialStatus.COMPLETED
-        telem.event(
-            EVT_TRIAL_PRUNED if pruned else EVT_TRIAL_FINISHED,
-            objectives=objectives,
-            duration_s=duration,
-        )
+        trial = self._result_from_outcome(outcome, task)
+        table.add(trial)
+        if self.journal is not None:
+            self.journal.record(trial, outcome.checkpoints)
+        if trial.ok:
+            self.explorer.tell(config, trial.objectives)
+            telem.event(
+                EVT_EXPLORER_TELL, trial_id=config.trial_id, objectives=trial.objectives
+            )
+            self.pruner.finish(config.trial_id)
+        return trial
+
+    def _result_from_outcome(self, outcome: TrialOutcome, task: TrialTask) -> TrialResult:
+        telem = self.telemetry
         extras: dict[str, Any] = {}
-        if telem.enabled:
-            extras["telemetry"] = trial_meters.snapshot()
-        telem.pop_meters()
-        telem.clear_context("trial_id", "seed")
+        if outcome.ok:
+            objectives = self.metrics.extract_all(outcome.measurements)
+            status = TrialStatus.PRUNED if outcome.status == "pruned" else TrialStatus.COMPLETED
+            measurements = {
+                k: v for k, v in outcome.measurements.items() if isinstance(v, (int, float))
+            }
+            if telem.enabled and outcome.meters is not None:
+                extras["telemetry"] = outcome.meters.snapshot()
+        else:
+            objectives = {}
+            status = TrialStatus.FAILED
+            measurements = {}
+            extras["error"] = outcome.error
+            if outcome.traceback is not None:
+                extras["traceback"] = outcome.traceback
+            if outcome.status != "failed":
+                extras["failure_kind"] = outcome.status  # "timeout" / "crashed"
+        if outcome.attempt:
+            extras["attempts"] = outcome.attempt + 1
         return TrialResult(
-            config=config,
+            config=task.config,
             objectives=objectives,
             status=status,
-            seed=seed,
-            duration_s=duration,
-            measurements={k: v for k, v in measurements.items() if isinstance(v, (int, float))},
+            seed=task.seed,
+            duration_s=outcome.duration_s,
+            measurements=measurements,
             extras=extras,
         )
 

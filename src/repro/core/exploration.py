@@ -38,6 +38,19 @@ class Explorer:
     def tell(self, config: Configuration, objectives: dict[str, float]) -> None:
         """Feed back measured objectives (no-op for non-adaptive methods)."""
 
+    def mark_pending(self, config: Configuration) -> None:
+        """Note that ``config`` was dispatched but has no result yet.
+
+        Parallel campaigns call this between ``ask`` and ``tell`` so
+        adaptive explorers can account for in-flight evaluations instead
+        of proposing near-identical configurations to every concurrent
+        worker (see :class:`~repro.core.tpe.TPESampler`'s constant-liar
+        imputation). No-op for non-adaptive methods.
+        """
+
+    def clear_pending(self, config: Configuration) -> None:
+        """Forget a :meth:`mark_pending` (result arrived or was abandoned)."""
+
     @property
     def n_asked(self) -> int:
         return self._asked

@@ -5,11 +5,19 @@ The paper notes that hyperparameter-optimization frameworks contribute
 receive intermediate objective values (here: the learning-curve reward
 checkpoints the framework back-ends emit) and decide whether to abort the
 trial early — saving real compute in large campaigns.
+
+With the parallel executors (:mod:`repro.exec`) several trials report
+concurrently, so :class:`MedianPruner` is thread-safe and tolerates
+``(trial_id, step)`` arrivals in any order. Under the process executor
+the child only sees a pickled snapshot; the campaign replays the child's
+checkpoints into its own pruner afterwards via :meth:`Pruner.absorb`.
 """
 
 from __future__ import annotations
 
+import threading
 from collections import defaultdict
+from typing import Iterable
 
 import numpy as np
 
@@ -30,6 +38,15 @@ class Pruner:
     def finish(self, trial_id: int) -> None:
         """Mark a trial as complete (its history becomes comparison data)."""
 
+    def absorb(self, trial_id: int, checkpoints: Iterable[tuple[int, float]]) -> None:
+        """Ingest checkpoints recorded elsewhere, without prune decisions.
+
+        Used when the learning curve was produced where this pruner
+        couldn't see it live: in a child process (which only had a
+        pickled snapshot) or in a journaled run being resumed. Default
+        is a no-op for stateless pruners.
+        """
+
 
 class NoPruner(Pruner):
     """Never prunes (the paper's §V campaign runs every trial fully)."""
@@ -45,6 +62,13 @@ class MedianPruner(Pruner):
     below the median of the values other trials reported at comparable
     progress, provided at least ``n_startup_trials`` finished and the
     trial has passed ``n_warmup_steps``.
+
+    Safe for concurrent use: all shared state is guarded by a re-entrant
+    lock, and ``(trial_id, step)`` pairs may arrive in any order (the
+    interval counter keys on *distinct steps recorded*, so a re-delivered
+    checkpoint is idempotent rather than double-counted). Picklable —
+    the lock is recreated on unpickle — so the process executor can ship
+    read-only snapshots to children.
     """
 
     def __init__(
@@ -61,31 +85,53 @@ class MedianPruner(Pruner):
         #: trial_id -> {step -> value}
         self._histories: dict[int, dict[int, float]] = defaultdict(dict)
         self._finished: set[int] = set()
-        self._report_counts: dict[int, int] = defaultdict(int)
+        self._lock = threading.RLock()
 
     def report(self, trial_id: int, step: int, value: float) -> bool:
-        self._histories[trial_id][step] = float(value)
-        self._report_counts[trial_id] += 1
-        if step < self.n_warmup_steps:
-            return False
-        if self._report_counts[trial_id] % self.interval:
-            return False
-        if len(self._finished) < self.n_startup_trials:
-            return False
-        peers = []
-        for other_id in self._finished:
-            if other_id == trial_id:
-                continue
-            history = self._histories[other_id]
-            if not history:
-                continue
-            # best value the peer had reached by this progress point
-            reached = [v for s, v in history.items() if s <= step]
-            if reached:
-                peers.append(max(reached))
-        if not peers:
-            return False
-        return float(value) < float(np.median(peers))
+        with self._lock:
+            history = self._histories[trial_id]
+            history[int(step)] = float(value)
+            if step < self.n_warmup_steps:
+                return False
+            # interval counts distinct recorded steps, not raw calls, so
+            # out-of-order or duplicated deliveries don't shift the cadence
+            if len(history) % self.interval:
+                return False
+            if len(self._finished) < self.n_startup_trials:
+                return False
+            peers = []
+            for other_id in self._finished:
+                if other_id == trial_id:
+                    continue
+                other = self._histories[other_id]
+                if not other:
+                    continue
+                # best value the peer had reached by this progress point
+                reached = [v for s, v in other.items() if s <= step]
+                if reached:
+                    peers.append(max(reached))
+            if not peers:
+                return False
+            return float(value) < float(np.median(peers))
 
     def finish(self, trial_id: int) -> None:
-        self._finished.add(trial_id)
+        with self._lock:
+            self._finished.add(trial_id)
+
+    def absorb(self, trial_id: int, checkpoints: Iterable[tuple[int, float]]) -> None:
+        with self._lock:
+            history = self._histories[trial_id]
+            for step, value in checkpoints:
+                history[int(step)] = float(value)
+
+    # the lock can't cross pickle (process-executor snapshots); rebuild it
+    def __getstate__(self) -> dict:
+        state = dict(self.__dict__)
+        del state["_lock"]
+        state["_histories"] = dict(state["_histories"])
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
+        self._histories = defaultdict(dict, self._histories)
+        self._lock = threading.RLock()

@@ -21,8 +21,11 @@ from .ranking import RankingMethod
 from .results import ResultsTable, TrialResult
 
 __all__ = [
+    "trial_to_dict",
+    "trial_from_dict",
     "table_to_dict",
     "table_from_dict",
+    "table_fingerprint",
     "dump_report",
     "load_table",
     "rank_loaded",
@@ -57,6 +60,38 @@ def _jsonable_tree(value: Any) -> Any:
     return _jsonable(value)
 
 
+def trial_to_dict(trial: TrialResult) -> dict[str, Any]:
+    """Serialize one trial result to a plain JSON-safe dict.
+
+    The unit both the report archive and the campaign journal
+    (:class:`repro.exec.CampaignJournal`) persist; inverse is
+    :func:`trial_from_dict`.
+    """
+    return {
+        "trial_id": trial.trial_id,
+        "config": {k: _jsonable(v) for k, v in trial.config.as_dict().items()},
+        "objectives": {k: float(v) for k, v in trial.objectives.items()},
+        "measurements": {k: float(v) for k, v in trial.measurements.items()},
+        "status": trial.status,
+        "seed": trial.seed,
+        "duration_s": trial.duration_s,
+        "extras": _jsonable_tree(trial.extras),
+    }
+
+
+def trial_from_dict(row: dict[str, Any]) -> TrialResult:
+    """Inverse of :func:`trial_to_dict` (tolerates unknown extra keys)."""
+    return TrialResult(
+        config=Configuration(row["config"], trial_id=row.get("trial_id")),
+        objectives=dict(row.get("objectives", {})),
+        measurements=dict(row.get("measurements", {})),
+        status=row.get("status", "completed"),
+        seed=int(row.get("seed", 0)),
+        duration_s=float(row.get("duration_s", 0.0)),
+        extras=dict(row.get("extras", {})),
+    )
+
+
 def table_to_dict(table: ResultsTable) -> dict[str, Any]:
     """Serialize a results table (metrics + every trial) to plain dicts."""
     return {
@@ -65,20 +100,37 @@ def table_to_dict(table: ResultsTable) -> dict[str, Any]:
             {"name": m.name, "direction": m.direction, "unit": m.unit, "key": m.key}
             for m in table.metrics
         ],
-        "trials": [
-            {
-                "trial_id": t.trial_id,
-                "config": {k: _jsonable(v) for k, v in t.config.as_dict().items()},
-                "objectives": {k: float(v) for k, v in t.objectives.items()},
-                "measurements": {k: float(v) for k, v in t.measurements.items()},
-                "status": t.status,
-                "seed": t.seed,
-                "duration_s": t.duration_s,
-                "extras": _jsonable_tree(t.extras),
-            }
-            for t in table
-        ],
+        "trials": [trial_to_dict(t) for t in table],
     }
+
+
+#: extras keys that vary run-to-run without changing the decision
+_VOLATILE_EXTRAS = ("telemetry", "traceback")
+
+
+def table_fingerprint(table: ResultsTable) -> str:
+    """Canonical JSON of a table with wall-clock noise stripped.
+
+    Two campaign runs that made the same decisions — same
+    configurations, seeds, objectives, statuses — produce the same
+    fingerprint even though trial durations, telemetry meter snapshots
+    and traceback text differ between runs and executors. Used by the
+    cross-executor determinism tests and handy for diffing archived
+    reports.
+    """
+    rows = []
+    for trial in sorted(table, key=lambda t: (t.trial_id is None, t.trial_id)):
+        row = trial_to_dict(trial)
+        row["duration_s"] = 0.0
+        row["extras"] = {
+            k: v for k, v in row["extras"].items() if k not in _VOLATILE_EXTRAS
+        }
+        rows.append(row)
+    payload = {
+        "metrics": [m.key for m in table.metrics],
+        "trials": rows,
+    }
+    return json.dumps(payload, sort_keys=True, separators=(",", ":"))
 
 
 def table_from_dict(payload: dict[str, Any]) -> ResultsTable:

@@ -15,6 +15,17 @@ from-scratch TPE:
 
 Multi-objective campaigns scalarize through a user weighting; the default
 optimizes the first objective reported.
+
+**Parallel campaigns — constant liar.** When trials run concurrently the
+campaign asks for a new configuration while earlier ones are still in
+flight; with no countermeasure the model state is identical at each ask
+and every worker receives a near-identical proposal. The campaign marks
+dispatched configurations via :meth:`TPESampler.mark_pending`, and while
+pending they are imputed into the model with the *worst* observed loss
+(the "constant liar" of Ginsbourger et al., 2010): they join the *bad*
+density ``g(x)``, so the ``l/g`` acquisition ratio drops near in-flight
+points and subsequent proposals spread out. When the real result is
+told, the lie is discarded and replaced by the measurement.
 """
 
 from __future__ import annotations
@@ -75,6 +86,8 @@ class TPESampler(Explorer):
         self.n_ei_candidates = int(n_ei_candidates)
         self.scalarize = scalarize or (lambda objs: float(next(iter(objs.values()))))
         self._history: list[tuple[Configuration, float]] = []
+        #: config.key() -> in-flight Configuration (constant-liar imputation)
+        self._pending: dict[tuple, Configuration] = {}
 
     # ------------------------------------------------------------------ API
     def ask(self) -> Configuration | None:
@@ -87,11 +100,28 @@ class TPESampler(Explorer):
         return config.with_trial_id(self._next_id())
 
     def tell(self, config: Configuration, objectives: dict[str, float]) -> None:
+        self._pending.pop(config.key(), None)
         self._history.append((config, self.scalarize(objectives)))
+
+    def mark_pending(self, config: Configuration) -> None:
+        self._pending[config.key()] = config
+
+    def clear_pending(self, config: Configuration) -> None:
+        self._pending.pop(config.key(), None)
+
+    @property
+    def n_pending(self) -> int:
+        return len(self._pending)
 
     # ------------------------------------------------------------ modelling
     def _split(self) -> tuple[list[Configuration], list[Configuration]]:
-        ordered = sorted(self._history, key=lambda item: item[1])
+        ordered = list(self._history)
+        if self._pending and ordered:
+            # constant liar: in-flight configs count as worst-so-far, which
+            # lands them in the bad density and repels the next proposal
+            liar = max(loss for _, loss in ordered)
+            ordered.extend((cfg, liar) for cfg in self._pending.values())
+        ordered.sort(key=lambda item: item[1])
         n_good = max(1, int(math.ceil(self.gamma * len(ordered))))
         good = [cfg for cfg, _ in ordered[:n_good]]
         bad = [cfg for cfg, _ in ordered[n_good:]]

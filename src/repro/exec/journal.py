@@ -1,0 +1,179 @@
+"""Campaign checkpoint journal: one JSONL line per finished trial.
+
+An interrupted campaign (crash, ``kill -9``, power loss) loses nothing
+it already paid for: every committed trial — completed, failed or
+pruned — is appended to the journal *and flushed* before the campaign
+moves on. Resuming replays those trials into the results table (and
+into the explorer/pruner) without re-evaluating them, then continues
+with whatever the explorer proposes next.
+
+File layout::
+
+    {"type": "campaign", "format_version": 1, "explorer": ..., ...}
+    {"type": "trial", "checkpoints": [...], ...trial fields...}
+    {"type": "trial", ...}
+
+The header pins the campaign identity (explorer class, base seed, seed
+strategy, metric names); resuming under a different identity raises
+:class:`JournalMismatch` — silently mixing two campaigns' trials would
+poison the decision report. A torn final line (the process died
+mid-write) is tolerated and dropped on load.
+
+Trial lines reuse the report serialization
+(:func:`repro.core.serialization.trial_to_dict`) plus the learning-curve
+``checkpoints``, so a resumed pruner sees the same comparison data an
+uninterrupted run would have accumulated.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Any
+
+__all__ = ["CampaignJournal", "JournalMismatch"]
+
+_FORMAT_VERSION = 1
+
+#: header fields that must match for a resume to be accepted
+_IDENTITY_FIELDS = ("explorer", "base_seed", "seed_strategy", "metrics")
+
+
+class JournalMismatch(ValueError):
+    """The journal on disk belongs to a different campaign."""
+
+
+class CampaignJournal:
+    """Append-only trial checkpoint log with resume support.
+
+    ``resume=False`` starts a fresh journal (truncating any existing
+    file); ``resume=True`` loads the existing file's trials for replay
+    and appends new ones after it. ``CampaignJournal.resume(path)`` is
+    the explicit constructor the CLI uses.
+    """
+
+    def __init__(self, path: str | os.PathLike, resume: bool = False) -> None:
+        from ..core.serialization import trial_from_dict  # local: avoid cycle
+
+        self.path = os.fspath(path)
+        self._trial_from_dict = trial_from_dict
+        self._handle: Any = None
+        self._header: dict[str, Any] | None = None
+        #: trial_id -> (trial dict, checkpoints)
+        self._entries: dict[int, dict[str, Any]] = {}
+        self.n_replayed = 0
+        if resume:
+            if not os.path.exists(self.path):
+                raise FileNotFoundError(
+                    f"cannot resume: no journal at {self.path!r}"
+                )
+            self._load()
+        elif os.path.exists(self.path):
+            os.remove(self.path)
+
+    @classmethod
+    def resume(cls, path: str | os.PathLike) -> "CampaignJournal":
+        return cls(path, resume=True)
+
+    # -------------------------------------------------------------- loading
+    def _load(self) -> None:
+        with open(self.path, encoding="utf-8") as handle:
+            for line in handle:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    record = json.loads(line)
+                except json.JSONDecodeError:
+                    break  # torn tail from a killed writer: drop and stop
+                if record.get("type") == "campaign":
+                    self._header = record
+                elif record.get("type") == "trial":
+                    trial_id = record.get("trial_id")
+                    if trial_id is not None:
+                        self._entries[int(trial_id)] = record
+
+    @property
+    def n_recorded(self) -> int:
+        """Trials currently replayable from this journal."""
+        return len(self._entries)
+
+    # ------------------------------------------------------------ lifecycle
+    def open(self, identity: dict[str, Any]) -> None:
+        """Start writing: verify identity on resume, else write header."""
+        identity = {
+            "type": "campaign",
+            "format_version": _FORMAT_VERSION,
+            **identity,
+        }
+        if self._header is not None:
+            version = self._header.get("format_version")
+            if version != _FORMAT_VERSION:
+                raise JournalMismatch(
+                    f"journal {self.path!r} has format version {version!r}, "
+                    f"expected {_FORMAT_VERSION}"
+                )
+            for field in _IDENTITY_FIELDS:
+                if self._header.get(field) != identity.get(field):
+                    raise JournalMismatch(
+                        f"journal {self.path!r} was written by a different "
+                        f"campaign: {field}={self._header.get(field)!r} on disk "
+                        f"vs {identity.get(field)!r} now"
+                    )
+        self._handle = open(self.path, "a", encoding="utf-8")
+        if self._header is None:
+            self._header = identity
+            self._write(identity)
+
+    def _write(self, record: dict[str, Any]) -> None:
+        self._handle.write(json.dumps(record))
+        self._handle.write("\n")
+        self._handle.flush()
+        os.fsync(self._handle.fileno())
+
+    def record(self, trial: Any, checkpoints: list[tuple[int, float]] | None = None) -> None:
+        """Durably append one committed trial."""
+        from ..core.serialization import trial_to_dict  # local: avoid cycle
+
+        if self._handle is None:
+            raise RuntimeError("journal not opened; call open(identity) first")
+        payload = {
+            "type": "trial",
+            **trial_to_dict(trial),
+            "checkpoints": [[int(s), float(v)] for s, v in (checkpoints or [])],
+        }
+        self._write(payload)
+        if trial.trial_id is not None:
+            self._entries[int(trial.trial_id)] = payload
+
+    # -------------------------------------------------------------- replay
+    def lookup(self, config: Any) -> tuple[Any, list[tuple[int, float]]] | None:
+        """The recorded (TrialResult, checkpoints) for ``config``, if any.
+
+        A hit requires both the trial id *and* the configuration values
+        to match — an explorer proposing different configurations than
+        the journaled run (e.g. a changed seed) must not replay stale
+        results.
+        """
+        if config.trial_id is None:
+            return None
+        entry = self._entries.get(int(config.trial_id))
+        if entry is None:
+            return None
+        trial = self._trial_from_dict(entry)
+        if trial.config.key() != config.key():
+            return None
+        self.n_replayed += 1
+        checkpoints = [(int(s), float(v)) for s, v in entry.get("checkpoints", [])]
+        return trial, checkpoints
+
+    def close(self) -> None:
+        if self._handle is not None and not self._handle.closed:
+            self._handle.flush()
+            self._handle.close()
+
+    def __enter__(self) -> "CampaignJournal":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()

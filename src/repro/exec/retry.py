@@ -1,0 +1,61 @@
+"""Bounded retries with exponential backoff for flaky trials.
+
+Real distributed campaigns lose trials to transient causes — OOM kills,
+preempted nodes, filesystem hiccups — that have nothing to do with the
+configuration under test. A :class:`RetryPolicy` gives each trial a
+bounded number of fresh attempts (same configuration, same seed, so a
+success is the *same* measurement the first attempt should have
+produced) with exponentially growing, capped delays between them.
+
+Deterministic failures simply burn their attempts and surface as the
+usual ``FAILED`` trial; the campaign never spins forever.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["RetryPolicy", "NO_RETRY"]
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """How many extra attempts a failing trial gets, and how spaced."""
+
+    #: extra attempts after the first (0 = fail immediately)
+    max_retries: int = 0
+    #: delay before the first retry, seconds
+    backoff_s: float = 0.5
+    #: multiplier applied per subsequent retry
+    backoff_factor: float = 2.0
+    #: ceiling on any single delay, seconds
+    max_backoff_s: float = 30.0
+
+    def __post_init__(self) -> None:
+        if self.max_retries < 0:
+            raise ValueError("max_retries must be >= 0")
+        if self.backoff_s < 0 or self.max_backoff_s < 0:
+            raise ValueError("backoff delays must be >= 0")
+        if self.backoff_factor < 1.0:
+            raise ValueError("backoff_factor must be >= 1")
+
+    def should_retry(self, attempt: int) -> bool:
+        """Whether attempt number ``attempt`` (0-based) may be retried."""
+        return attempt < self.max_retries
+
+    def delay(self, attempt: int) -> float:
+        """Seconds to wait before re-running after failed ``attempt``."""
+        return min(self.backoff_s * self.backoff_factor ** attempt, self.max_backoff_s)
+
+    @classmethod
+    def of(cls, retry: "RetryPolicy | int | None") -> "RetryPolicy":
+        """Normalize ``None`` / an int / a policy into a policy."""
+        if retry is None:
+            return NO_RETRY
+        if isinstance(retry, int):
+            return cls(max_retries=retry)
+        return retry
+
+
+#: the default: no retries (a failure is recorded on first occurrence)
+NO_RETRY = RetryPolicy(max_retries=0)

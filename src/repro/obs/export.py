@@ -73,6 +73,27 @@ def chrome_trace(records: Iterable[dict[str, Any]]) -> dict[str, Any]:
     ]
 
     # ---------------------------------------------------------- real time
+    # Records from a parallel campaign carry ctx["worker"] (thread name or
+    # "proc-<pid>"); each worker gets its own lane so overlapping trials
+    # render side by side. Records without a worker (serial campaigns,
+    # campaign-level events) stay on tid 1 "campaign".
+    worker_tids: dict[str, int] = {"main": 1}
+
+    def _tid_of(record: dict[str, Any]) -> int:
+        worker = (record.get("ctx") or {}).get("worker", "main")
+        if worker not in worker_tids:
+            tid = max(worker_tids.values()) + 1
+            worker_tids[worker] = tid
+            trace_events.append(
+                {"ph": "M", "name": "thread_name", "pid": 1, "tid": tid,
+                 "args": {"name": f"worker {worker}"}}
+            )
+            trace_events.append(
+                {"ph": "M", "name": "thread_sort_index", "pid": 1, "tid": tid,
+                 "args": {"sort_index": tid}}
+            )
+        return worker_tids[worker]
+
     starts = [s["t_start"] for s in spans] + [e["t_mono"] for e in events]
     base = min(starts) if starts else 0.0
     for span in spans:
@@ -82,7 +103,7 @@ def chrome_trace(records: Iterable[dict[str, Any]]) -> dict[str, Any]:
             "name": span["name"],
             "cat": "real",
             "pid": 1,
-            "tid": 1,
+            "tid": _tid_of(span),
             "ts": (span["t_start"] - base) * _US,
             "dur": (span["t_end"] - span["t_start"]) * _US,
             "args": args,
@@ -94,7 +115,7 @@ def chrome_trace(records: Iterable[dict[str, Any]]) -> dict[str, Any]:
             "name": event["name"],
             "cat": "event",
             "pid": 1,
-            "tid": 1,
+            "tid": _tid_of(event),
             "ts": (event["t_mono"] - base) * _US,
             "args": dict(event.get("fields", {})),
         })

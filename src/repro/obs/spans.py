@@ -126,6 +126,17 @@ class SpanTracer:
         self._finish(span)
         return span
 
+    def reserve(self, count: int) -> int:
+        """Reserve ``count`` consecutive span ids; returns the first.
+
+        Used when folding a worker's buffered spans into this tracer's
+        id space (:meth:`repro.obs.Telemetry.merge_records`) so remapped
+        ids can never collide with home-grown ones.
+        """
+        base = self._next_id
+        self._next_id += max(0, int(count))
+        return base
+
     @property
     def current_id(self) -> int | None:
         return self._stack[-1].span_id if self._stack else None

@@ -94,6 +94,43 @@ class Telemetry:
         for record in records:
             self.emit_record(record)
 
+    def merge_records(
+        self,
+        records: list[dict[str, Any]],
+        worker: str = "main",
+        clock_delta: float = 0.0,
+    ) -> None:
+        """Fold a worker's buffered telemetry records into this stream.
+
+        Out-of-band executors (threads, processes) let each trial record
+        into a private sink and ship the records home on the outcome;
+        this folds them in: span ids are re-based onto a freshly
+        reserved block of this tracer's id space (so they cannot collide
+        with home-grown spans — parent links are remapped consistently),
+        monotonic timestamps are shifted by ``clock_delta`` onto this
+        process's ``perf_counter`` clock, and every record is tagged
+        with the producing ``worker`` in its context.
+        """
+        span_ids = sorted(
+            {r["id"] for r in records if r.get("type") == "span" and "id" in r}
+        )
+        base = self.tracer.reserve(len(span_ids))
+        remap = {old: base + i for i, old in enumerate(span_ids)}
+        for record in records:
+            record = dict(record)
+            kind = record.get("type")
+            if kind == "span":
+                record["id"] = remap.get(record.get("id"), record.get("id"))
+                if record.get("parent") is not None:
+                    record["parent"] = remap.get(record["parent"], record["parent"])
+                if clock_delta:
+                    record["t_start"] = record.get("t_start", 0.0) + clock_delta
+                    record["t_end"] = record.get("t_end", 0.0) + clock_delta
+            elif clock_delta and "t_mono" in record:
+                record["t_mono"] = record["t_mono"] + clock_delta
+            record["ctx"] = {**record.get("ctx", {}), "worker": worker}
+            self.sink.emit(record)
+
     def _emit(self, record: dict[str, Any]) -> None:
         """Span-tracer emit hook: attach context, forward to the sink."""
         if self._context:
@@ -162,6 +199,14 @@ class NullTelemetry(Telemetry):
         pass
 
     def emit_records(self, records: Any) -> None:
+        pass
+
+    def merge_records(
+        self,
+        records: list[dict[str, Any]],
+        worker: str = "main",
+        clock_delta: float = 0.0,
+    ) -> None:
         pass
 
     def close(self) -> None:

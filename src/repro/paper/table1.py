@@ -18,6 +18,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Callable, Mapping
 
+import repro.airdrop  # noqa: F401  (registers Airdrop-v0 — also in spawn workers)
+
 from ..cluster import ClusterSpec, paper_testbed
 from ..core import (
     Campaign,
@@ -210,10 +212,15 @@ def table1_campaign(
     env_kwargs: dict[str, Any] | None = None,
     seed_strategy: str = "fixed",
     telemetry: Telemetry | None = None,
+    **campaign_kwargs: Any,
 ) -> Campaign:
     """The full §V campaign: airdrop case study × 18 configs × 3 metrics.
 
     ``campaign.run().render()`` regenerates Table I and Figures 4–6.
+    Extra keyword arguments (``executor``, ``max_workers``, ``retry``,
+    ``trial_timeout``, ``journal``, ...) pass through to
+    :class:`~repro.core.Campaign` — the case study and the Table I
+    explorer are picklable, so the process executor works out of the box.
     """
     space = airdrop_parameter_space()
     case_study = AirdropCaseStudy(
@@ -229,4 +236,5 @@ def table1_campaign(
         base_seed=seed,
         seed_strategy=seed_strategy,
         telemetry=telemetry,
+        **campaign_kwargs,
     )
