@@ -26,6 +26,10 @@ Commands
     Summarize a JSONL telemetry log written by ``campaign --telemetry``
     or convert it to Chrome trace-event JSON for Perfetto
     (https://ui.perfetto.dev) / ``chrome://tracing``.
+
+``faults``
+    Generate, validate or describe a deterministic fault plan
+    (``campaign --fault-plan FILE`` injects it into every trial).
 """
 
 from __future__ import annotations
@@ -50,6 +54,7 @@ from repro.core import (
     render_table,
 )
 from repro.exec import EXECUTORS, CampaignJournal, JournalMismatch, RetryPolicy
+from repro.faults import FaultPlan
 from repro.obs import (
     JsonlSink,
     Telemetry,
@@ -140,6 +145,14 @@ def _add_campaign_parser(subparsers) -> None:
         help="resume an interrupted campaign from its journal "
         "(recorded trials are replayed, not re-evaluated)",
     )
+    p.add_argument(
+        "--fault-plan",
+        type=str,
+        default=None,
+        metavar="FILE",
+        help="inject a deterministic fault plan (JSON, see 'repro faults') "
+        "into every trial's virtual run and rank on resilience",
+    )
 
 
 def _add_analyze_parser(subparsers) -> None:
@@ -160,6 +173,39 @@ def _add_episode_parser(subparsers) -> None:
 
 def _add_calibration_parser(subparsers) -> None:
     subparsers.add_parser("calibration", help="print calibration vs paper anchors")
+
+
+def _add_faults_parser(subparsers) -> None:
+    p = subparsers.add_parser(
+        "faults", help="generate, validate or describe a fault plan"
+    )
+    actions = p.add_subparsers(dest="action", required=True)
+
+    gen = actions.add_parser("generate", help="sample a deterministic fault plan")
+    gen.add_argument("output", type=str, help="where to write the plan JSON")
+    gen.add_argument("--seed", type=int, default=0)
+    gen.add_argument("--nodes", type=int, default=2, help="cluster size the plan targets")
+    gen.add_argument(
+        "--horizon",
+        type=float,
+        default=600.0,
+        metavar="SECONDS",
+        help="virtual-time window the fault events are drawn from",
+    )
+    gen.add_argument(
+        "--intensity",
+        type=float,
+        default=0.5,
+        help="0..1 knob scaling how many faults are drawn and how harsh they are",
+    )
+    gen.add_argument("--name", type=str, default=None, help="plan name (default: derived)")
+
+    val = actions.add_parser("validate", help="check a plan file for consistency")
+    val.add_argument("plan", type=str, help="plan JSON file")
+    val.add_argument("--nodes", type=int, default=2, help="cluster size to validate against")
+
+    desc = actions.add_parser("describe", help="print a human-readable plan summary")
+    desc.add_argument("plan", type=str, help="plan JSON file")
 
 
 def _add_telemetry_parser(subparsers) -> None:
@@ -191,6 +237,19 @@ def _make_explorer(args):
 
 
 def _cmd_campaign(args) -> int:
+    fault_plan = None
+    if args.fault_plan:
+        try:
+            fault_plan = FaultPlan.load(args.fault_plan)
+            fault_plan.validate()
+        except FileNotFoundError:
+            print(f"repro campaign: no such fault plan: {args.fault_plan}", file=sys.stderr)
+            return 1
+        except ValueError as exc:
+            print(f"repro campaign: bad fault plan {args.fault_plan}: {exc}", file=sys.stderr)
+            return 1
+        print(f"injecting fault plan {fault_plan.name or args.fault_plan} "
+              f"(hash {fault_plan.plan_hash()}, {fault_plan.n_events} events)")
     telemetry = Telemetry(JsonlSink(args.telemetry)) if args.telemetry else None
     journal = None
     if args.resume:
@@ -213,6 +272,7 @@ def _cmd_campaign(args) -> int:
         retry=RetryPolicy(max_retries=args.retries) if args.retries else None,
         trial_timeout=args.trial_timeout,
         journal=journal,
+        fault_plan=fault_plan,
     )
 
     def progress(trial, n):
@@ -241,6 +301,41 @@ def _cmd_campaign(args) -> int:
     if args.telemetry:
         print(f"\ntelemetry log written to {args.telemetry} "
               f"(inspect with 'repro telemetry {args.telemetry}')")
+    return 0
+
+
+def _cmd_faults(args) -> int:
+    if args.action == "generate":
+        plan = FaultPlan.sample(
+            seed=args.seed,
+            n_nodes=args.nodes,
+            horizon_s=args.horizon,
+            intensity=args.intensity,
+            name=args.name or f"sampled-seed{args.seed}",
+        )
+        plan.validate(args.nodes)
+        plan.save(args.output)
+        print(f"wrote {args.output}")
+        print(plan.describe())
+        return 0
+    try:
+        plan = FaultPlan.load(args.plan)
+    except FileNotFoundError:
+        print(f"repro faults: no such plan file: {args.plan}", file=sys.stderr)
+        return 1
+    except ValueError as exc:
+        print(f"repro faults: cannot parse {args.plan}: {exc}", file=sys.stderr)
+        return 1
+    if args.action == "validate":
+        try:
+            plan.validate(args.nodes)
+        except ValueError as exc:
+            print(f"repro faults: INVALID for {args.nodes} node(s): {exc}", file=sys.stderr)
+            return 1
+        print(f"{args.plan}: valid for {args.nodes} node(s) — "
+              f"hash {plan.plan_hash()}, {plan.n_events} event(s)")
+        return 0
+    print(plan.describe())
     return 0
 
 
@@ -347,6 +442,7 @@ def main(argv: Sequence[str] | None = None) -> int:
     _add_episode_parser(subparsers)
     _add_calibration_parser(subparsers)
     _add_telemetry_parser(subparsers)
+    _add_faults_parser(subparsers)
     args = parser.parse_args(argv)
     handler = {
         "campaign": _cmd_campaign,
@@ -354,6 +450,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         "episode": _cmd_episode,
         "calibration": _cmd_calibration,
         "telemetry": _cmd_telemetry,
+        "faults": _cmd_faults,
     }[args.command]
     return handler(args)
 

@@ -3,7 +3,7 @@
 from .power import CPUPowerModel, EnergyReport, energy_from_trace
 from .simulator import ClusterSimulator, Task
 from .topology import ClusterSpec, LinkSpec, NodeSpec, grid_cluster, paper_testbed
-from .trace import TaskSpan, Trace, TransferSpan
+from .trace import FaultSpan, TaskSpan, Trace, TransferSpan
 
 __all__ = [
     "NodeSpec",
@@ -16,6 +16,7 @@ __all__ = [
     "Trace",
     "TaskSpan",
     "TransferSpan",
+    "FaultSpan",
     "CPUPowerModel",
     "EnergyReport",
     "energy_from_trace",

@@ -11,7 +11,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-__all__ = ["TaskSpan", "TransferSpan", "Trace"]
+__all__ = ["TaskSpan", "TransferSpan", "FaultSpan", "Trace"]
 
 
 @dataclass(frozen=True)
@@ -45,12 +45,32 @@ class TransferSpan:
         return self.end - self.start
 
 
+@dataclass(frozen=True)
+class FaultSpan:
+    """One injected fault window (or point event, when ``end == start``).
+
+    ``kind`` is one of ``crash`` / ``straggler`` / ``link`` /
+    ``task_failure``; ``node`` is ``-1`` for link-wide faults.
+    """
+
+    kind: str
+    label: str
+    node: int
+    start: float
+    end: float
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+
 @dataclass
 class Trace:
     """All spans of one simulated run."""
 
     tasks: list[TaskSpan] = field(default_factory=list)
     transfers: list[TransferSpan] = field(default_factory=list)
+    faults: list[FaultSpan] = field(default_factory=list)
 
     @property
     def makespan(self) -> float:
@@ -98,6 +118,7 @@ class Trace:
             "makespan_s": self.makespan,
             "n_tasks": float(len(self.tasks)),
             "n_transfers": float(len(self.transfers)),
+            "n_faults": float(len(self.faults)),
             "bytes_transferred": self.bytes_transferred(),
         }
 
@@ -132,6 +153,17 @@ class Trace:
                 "n_bytes": x.n_bytes,
                 "start": x.start,
                 "end": x.end,
+                **extra,
+            })
+        for f in self.faults:
+            records.append({
+                "type": "vspan",
+                "kind": "fault",
+                "name": f.label,
+                "fault_kind": f.kind,
+                "node": f.node,
+                "start": f.start,
+                "end": f.end,
                 **extra,
             })
         return records

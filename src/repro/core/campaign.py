@@ -17,7 +17,9 @@ results table, all rankings and their textual/ASCII renderings — the
 
 from __future__ import annotations
 
+import hashlib
 import inspect
+import json
 import time
 from dataclasses import dataclass, field
 from typing import Any, Callable, Mapping, Protocol, runtime_checkable
@@ -359,7 +361,33 @@ class Campaign:
             "base_seed": self.base_seed,
             "seed_strategy": self.seed_strategy,
             "metrics": list(self.metrics.names),
+            "space": self._space_hash(),
+            "fault_plan": self._fault_plan_hash(),
         }
+
+    def _space_hash(self) -> str:
+        """Short digest of the parameter space's structure (name, type and
+        grid per parameter) — resuming against a different space would
+        replay configurations that no longer validate."""
+        shape = [
+            {
+                "name": p.name,
+                "type": type(p).__name__,
+                "grid": [repr(v) for v in p.grid()],
+            }
+            for p in self.space.parameters
+        ]
+        digest = hashlib.sha1(
+            json.dumps(shape, sort_keys=True).encode("utf-8")
+        ).hexdigest()
+        return digest[:12]
+
+    def _fault_plan_hash(self) -> str:
+        """Digest of the case study's fault plan (empty string = no plan)."""
+        plan = getattr(self.case_study, "fault_plan", None)
+        if plan is None or getattr(plan, "is_empty", True):
+            return ""
+        return plan.plan_hash()
 
     def _make_executor(self) -> Executor:
         if self.executor is None:
@@ -437,6 +465,7 @@ class Campaign:
             objectives = {}
             status = TrialStatus.FAILED
             measurements = {}
+            extras.update(outcome.error_extras)
             extras["error"] = outcome.error
             if outcome.traceback is not None:
                 extras["traceback"] = outcome.traceback

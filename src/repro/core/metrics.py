@@ -26,6 +26,9 @@ __all__ = [
     "PowerConsumption",
     "BandwidthUsage",
     "TimeToThreshold",
+    "RecoveryOverhead",
+    "WorkLost",
+    "CompletionUnderFaults",
 ]
 
 
@@ -94,6 +97,24 @@ def TimeToThreshold() -> Metric:
     orderable.
     """
     return Metric(name="time_to_threshold", direction="min", unit="s")
+
+
+def RecoveryOverhead() -> Metric:
+    """Extra virtual seconds a fault plan adds over the fault-free run
+    of the same schedule (resilience axis; 0 when no faults fire)."""
+    return Metric(name="recovery_overhead", direction="min", unit="s")
+
+
+def WorkLost() -> Metric:
+    """Environment-step equivalents of virtual work discarded and
+    re-executed because of injected faults (paper scale)."""
+    return Metric(name="work_lost", direction="min", unit="steps")
+
+
+def CompletionUnderFaults() -> Metric:
+    """Fraction of the virtual schedule completed under the fault plan
+    (1.0 unless the recovery policy gave up and the run aborted)."""
+    return Metric(name="completion_under_faults", direction="max", unit="fraction")
 
 
 class MetricSet:

@@ -36,7 +36,14 @@ __all__ = ["CampaignJournal", "JournalMismatch"]
 _FORMAT_VERSION = 1
 
 #: header fields that must match for a resume to be accepted
-_IDENTITY_FIELDS = ("explorer", "base_seed", "seed_strategy", "metrics")
+_IDENTITY_FIELDS = (
+    "explorer",
+    "base_seed",
+    "seed_strategy",
+    "metrics",
+    "space",
+    "fault_plan",
+)
 
 
 class JournalMismatch(ValueError):
@@ -77,6 +84,7 @@ class CampaignJournal:
 
     # -------------------------------------------------------------- loading
     def _load(self) -> None:
+        first = True
         with open(self.path, encoding="utf-8") as handle:
             for line in handle:
                 line = line.strip()
@@ -85,7 +93,21 @@ class CampaignJournal:
                 try:
                     record = json.loads(line)
                 except json.JSONDecodeError:
+                    if first:
+                        # A torn *header* is not a torn tail: nothing in this
+                        # file is attributable to any campaign. Refusing beats
+                        # silently starting a fresh journal over it.
+                        raise JournalMismatch(
+                            f"journal {self.path!r} has a corrupt header line; "
+                            "refusing to resume (delete the file to start over)"
+                        ) from None
                     break  # torn tail from a killed writer: drop and stop
+                if first and record.get("type") != "campaign":
+                    raise JournalMismatch(
+                        f"journal {self.path!r} does not start with a campaign "
+                        f"header (got type={record.get('type')!r}); refusing to resume"
+                    )
+                first = False
                 if record.get("type") == "campaign":
                     self._header = record
                 elif record.get("type") == "trial":

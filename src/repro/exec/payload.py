@@ -39,6 +39,19 @@ from ..obs import (
 
 __all__ = ["TrialTask", "TrialOutcome", "execute_trial", "OUTCOME_STATUSES"]
 
+
+def _exception_extras(exc: BaseException) -> dict[str, Any]:
+    """JSON-primitive ``extras`` a typed exception carries, sanitized so
+    the dict survives journaling and the process boundary."""
+    raw = getattr(exc, "extras", None)
+    if not isinstance(raw, dict):
+        return {}
+    return {
+        str(k): v
+        for k, v in raw.items()
+        if isinstance(v, (str, int, float, bool)) or v is None
+    }
+
 #: every way a trial attempt can end
 OUTCOME_STATUSES = ("completed", "pruned", "failed", "timeout", "crashed")
 
@@ -85,6 +98,9 @@ class TrialOutcome:
     duration_s: float = 0.0
     error: str | None = None
     traceback: str | None = None
+    #: JSON-safe context a typed exception attached via its ``extras``
+    #: attribute (e.g. the offending env step, the fault abort time)
+    error_extras: dict[str, Any] = field(default_factory=dict)
     #: the original exception object (in-process executors only)
     exception: BaseException | None = None
     #: (step, value) learning-curve reports made during the attempt
@@ -174,6 +190,7 @@ def execute_trial(task: TrialTask) -> TrialOutcome:
             duration_s=duration,
             error=repr(exc),
             traceback=traceback.format_exc(),
+            error_extras=_exception_extras(exc),
             exception=exc if in_process else None,
             checkpoints=checkpoints,
             records=sink.records if sink is not None else [],

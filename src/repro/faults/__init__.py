@@ -1,0 +1,44 @@
+"""Deterministic fault injection for the virtual cluster.
+
+A :class:`FaultPlan` declares node crashes, stragglers, link
+degradations/partitions and probabilistic task failures against virtual
+time; :class:`FaultSchedule` compiles it for a cluster and the
+:class:`~repro.cluster.ClusterSimulator` executes it, consulting a
+:class:`RecoveryPolicy` when a crash intersects the run. The outcome is
+summarised in :class:`FaultStats` and turned into resilience metrics
+(recovery overhead, work lost, completion under faults) by the
+framework back-ends.
+"""
+
+from .plan import (
+    PLAN_FORMAT_VERSION,
+    FaultPlan,
+    LinkDegradation,
+    NodeCrash,
+    Straggler,
+    TaskFailures,
+)
+from .recovery import (
+    ClusterFaultError,
+    DegradeRecovery,
+    FailFastRecovery,
+    RecoveryPolicy,
+    ReDispatchRecovery,
+)
+from .runtime import FaultSchedule, FaultStats
+
+__all__ = [
+    "PLAN_FORMAT_VERSION",
+    "FaultPlan",
+    "NodeCrash",
+    "Straggler",
+    "LinkDegradation",
+    "TaskFailures",
+    "ClusterFaultError",
+    "RecoveryPolicy",
+    "FailFastRecovery",
+    "DegradeRecovery",
+    "ReDispatchRecovery",
+    "FaultSchedule",
+    "FaultStats",
+]

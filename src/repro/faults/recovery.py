@@ -1,0 +1,117 @@
+"""Recovery policies: what a framework does when its cluster breaks.
+
+The three paper back-ends differentiate precisely on recovery behavior
+(the Catalyst.RL observation), so each structural signature gets its own
+policy the simulator consults when a node it depends on crashes:
+
+* :class:`ReDispatchRecovery` (RLlib-like, IMPALA-like): lost rollout
+  workers are detected, their tasks re-dispatched to the lowest-index
+  surviving allocated node, and a synthetic full-node *restore* task —
+  re-loading the learner state from the last weight-sync checkpoint —
+  precedes the migrated work. Bounded work loss, no run abort while any
+  allocated node survives.
+* :class:`FailFastRecovery` (Stable-Baselines-like): a single-process
+  vec-env stack has no supervisor; the first crash of a node it uses
+  aborts the run and surfaces as a typed :class:`ClusterFaultError`
+  (→ a ``failed`` trial in the campaign table).
+* :class:`DegradeRecovery` (TF-Agents-like): the parallel drivers block
+  until the node returns (the run degrades: progress stalls for the
+  downtime, work on the node is re-executed). A crash with no scheduled
+  restart can never finish and aborts with the documented completion
+  penalty instead of raising.
+
+Policies are consulted only when the crash actually intersects the run
+(tasks running, queued or still to come on the node) — a fault plan
+written for a 2-node campaign must not abort single-node trials when it
+kills the node they never touch.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable
+
+__all__ = [
+    "ClusterFaultError",
+    "RecoveryPolicy",
+    "FailFastRecovery",
+    "DegradeRecovery",
+    "ReDispatchRecovery",
+]
+
+
+class ClusterFaultError(RuntimeError):
+    """The virtual run died under injected faults and the recovery policy
+    gave up. Carries JSON-safe ``extras`` the campaign folds into the
+    failed trial's record."""
+
+    def __init__(self, message: str, extras: dict[str, Any] | None = None) -> None:
+        super().__init__(message)
+        self.extras: dict[str, Any] = dict(extras or {})
+
+
+class RecoveryPolicy:
+    """Base contract the simulator consults on a relevant node crash.
+
+    ``on_crash`` returns one of::
+
+        ("abort",)               give up (semantics per ``on_abort``)
+        ("wait",)                leave work queued until the node restarts
+        ("redispatch", target)   migrate the node's work to ``target``
+
+    ``on_abort`` selects what an abort means for the trial: ``"raise"``
+    (a :class:`ClusterFaultError`, → failed trial) or ``"penalize"``
+    (the run completes with a documented 2× computation-time penalty and
+    a partial completion fraction).
+    """
+
+    name = "none"
+    on_abort = "penalize"  # "penalize" | "raise"
+    #: virtual seconds of full-node restore work injected before
+    #: re-dispatched tasks run (checkpoint reload)
+    restore_s = 0.0
+
+    def on_crash(
+        self, node: int, up_nodes: frozenset[int], will_restart: bool
+    ) -> tuple:
+        raise NotImplementedError
+
+
+class FailFastRecovery(RecoveryPolicy):
+    """Abort on the first relevant crash and raise a typed error."""
+
+    name = "fail_fast"
+    on_abort = "raise"
+
+    def on_crash(self, node: int, up_nodes: frozenset[int], will_restart: bool) -> tuple:
+        return ("abort",)
+
+
+class DegradeRecovery(RecoveryPolicy):
+    """Stall until the node restarts; abort (penalized) when it never will."""
+
+    name = "degrade"
+    on_abort = "penalize"
+
+    def on_crash(self, node: int, up_nodes: frozenset[int], will_restart: bool) -> tuple:
+        return ("wait",) if will_restart else ("abort",)
+
+
+class ReDispatchRecovery(RecoveryPolicy):
+    """Migrate the dead node's work to the first surviving allocated node."""
+
+    name = "redispatch"
+    on_abort = "penalize"
+
+    def __init__(self, nodes: Iterable[int], restore_s: float = 0.0) -> None:
+        self.nodes = tuple(sorted(set(int(n) for n in nodes)))
+        if not self.nodes:
+            raise ValueError("ReDispatchRecovery needs at least one allocated node")
+        if restore_s < 0:
+            raise ValueError("restore_s must be >= 0")
+        self.restore_s = float(restore_s)
+
+    def on_crash(self, node: int, up_nodes: frozenset[int], will_restart: bool) -> tuple:
+        for candidate in self.nodes:
+            if candidate != node and candidate in up_nodes:
+                return ("redispatch", candidate)
+        return ("wait",) if will_restart else ("abort",)

@@ -1,0 +1,228 @@
+"""Compiled form of a :class:`FaultPlan` the simulator executes.
+
+:class:`FaultSchedule` turns the declarative plan into (a) a sorted
+timeline of point events the event loop interleaves with task
+completions (node down/up, straggler on/off) and (b) pure time-indexed
+queries for the quantities that never need an event: link cost at a
+given instant, partition windows, whether a node is up at ``t``, and
+the hash-derived per-task failure draw. Everything is deterministic —
+same plan, same seed, same DAG → identical trace on every executor.
+
+:class:`FaultStats` is the scoreboard one simulation run fills in and
+the frameworks fold into resilience metrics.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any
+
+from .plan import FaultPlan
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..cluster.topology import ClusterSpec, LinkSpec
+
+__all__ = ["FaultSchedule", "FaultStats"]
+
+_INF = float("inf")
+
+
+@dataclass
+class FaultStats:
+    """What actually happened when a schedule met a DAG."""
+
+    n_events: int = 0
+    n_killed: int = 0  # running tasks preempted by a crash
+    n_task_failures: int = 0  # probabilistic task failures (retried in place)
+    n_redispatched: int = 0  # tasks migrated to a surviving node
+    n_restarts: int = 0  # node restarts that actually resumed work
+    work_lost_s: float = 0.0  # nominal virtual seconds of discarded progress
+    aborted: bool = False
+    abort_time: float = 0.0
+    abort_reason: str = ""
+    completed_fraction: float = 1.0
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "n_events": self.n_events,
+            "n_killed": self.n_killed,
+            "n_task_failures": self.n_task_failures,
+            "n_redispatched": self.n_redispatched,
+            "n_restarts": self.n_restarts,
+            "work_lost_s": round(self.work_lost_s, 9),
+            "aborted": self.aborted,
+            "abort_time": round(self.abort_time, 9),
+            "abort_reason": self.abort_reason,
+            "completed_fraction": round(self.completed_fraction, 9),
+        }
+
+
+class FaultSchedule:
+    """A :class:`FaultPlan` compiled against a cluster size.
+
+    The timeline events are ``(time, order, kind, node)`` tuples with
+    ``kind`` one of ``node_down`` / ``node_up`` / ``slow_on`` /
+    ``slow_off``; ``order`` breaks same-instant ties deterministically
+    (downs before ups before slowdowns, then plan order).
+    """
+
+    _ORDER = {"node_down": 0, "node_up": 1, "slow_on": 2, "slow_off": 3}
+
+    def __init__(self, plan: FaultPlan, n_nodes: int) -> None:
+        plan.validate(n_nodes=n_nodes)
+        self.plan = plan
+        self.n_nodes = n_nodes
+
+        events: list[tuple[float, int, int, str, int, float]] = []
+        # (time, order, plan_index, kind, node, payload)
+        for i, crash in enumerate(plan.node_crashes):
+            events.append((crash.at, self._ORDER["node_down"], i, "node_down", crash.node, 0.0))
+            if crash.restart_after is not None:
+                events.append(
+                    (crash.down_until, self._ORDER["node_up"], i, "node_up", crash.node, 0.0)
+                )
+        for i, slow in enumerate(plan.stragglers):
+            events.append((slow.at, self._ORDER["slow_on"], i, "slow_on", slow.node, slow.factor))
+            events.append(
+                (slow.at + slow.duration, self._ORDER["slow_off"], i, "slow_off", slow.node, 1.0)
+            )
+        events.sort(key=lambda e: (e[0], e[1], e[2]))
+        self.timeline: tuple[tuple[float, str, int, float], ...] = tuple(
+            (t, kind, node, payload) for t, _o, _i, kind, node, payload in events
+        )
+
+        self._crash_windows: dict[int, list[tuple[float, float, bool]]] = {}
+        for crash in plan.node_crashes:
+            self._crash_windows.setdefault(crash.node, []).append(
+                (crash.at, crash.down_until, crash.restart_after is not None)
+            )
+        for windows in self._crash_windows.values():
+            windows.sort()
+
+        self._link_windows = tuple(
+            (lf.at, lf.at + lf.duration, lf) for lf in plan.link_faults
+        )
+        self._failures = plan.task_failures
+
+    # ------------------------------------------------------------------
+    # node queries
+    # ------------------------------------------------------------------
+    def node_up_at(self, node: int, t: float) -> float:
+        """Earliest time >= ``t`` at which ``node`` is up (inf if never)."""
+        for start, end, restarts in self._crash_windows.get(node, ()):
+            if start <= t < end:
+                return end if restarts else _INF
+        return t
+
+    def will_restart(self, node: int, t: float) -> bool:
+        """Whether a node down at ``t`` has a scheduled restart."""
+        for start, end, restarts in self._crash_windows.get(node, ()):
+            if start <= t < end:
+                return restarts
+        return True  # not inside a crash window: node is not down
+
+    # ------------------------------------------------------------------
+    # link queries
+    # ------------------------------------------------------------------
+    def clear_of_partition(self, t: float) -> float:
+        """Earliest time >= ``t`` not inside a partition window."""
+        moved = True
+        while moved:
+            moved = False
+            for start, end, lf in self._link_windows:
+                if lf.partition and start <= t < end:
+                    t = end
+                    moved = True
+        return t
+
+    def transfer_time(self, n_bytes: float, t: float, link: "LinkSpec") -> float:
+        """Cost of a transfer *starting* at ``t`` under active degradations.
+
+        Degradation windows compose: bandwidth factors multiply, extra
+        latencies add. The cost is evaluated at the start instant (the
+        sim does not split transfers across window edges — the windows
+        are long relative to transfers in every sane plan).
+        """
+        bandwidth_gbps = link.bandwidth_gbps
+        latency_s = link.latency_s
+        for start, end, lf in self._link_windows:
+            if lf.partition:
+                continue
+            if start <= t < end:
+                bandwidth_gbps *= lf.bandwidth_factor
+                latency_s += lf.extra_latency_s
+        return latency_s + n_bytes / (bandwidth_gbps * 1e9 / 8)
+
+    # ------------------------------------------------------------------
+    # per-task probabilistic failure
+    # ------------------------------------------------------------------
+    def task_fails(self, name: str, attempt: int) -> bool:
+        """Deterministic draw: does attempt ``attempt`` of task ``name`` fail?"""
+        f = self._failures
+        if f is None or f.rate <= 0.0:
+            return False
+        if f.match and f.match not in name:
+            return False
+        if attempt >= f.max_attempts - 1:
+            return False  # final attempt always succeeds (bounded retries)
+        return self._unit(f.seed, name, attempt) < f.rate
+
+    def fail_fraction(self, name: str, attempt: int) -> float:
+        """Fraction of the task's duration elapsed when it fails (0.1..0.9)."""
+        f = self._failures
+        seed = f.seed if f is not None else 0
+        return 0.1 + 0.8 * self._unit(seed, name, attempt, "frac")
+
+    @staticmethod
+    def _unit(*key: Any) -> float:
+        # sha256 rather than crc32: near-identical task names ("s0", "s1",
+        # ...) must still draw independently distributed values
+        payload = "|".join(str(k) for k in key).encode()
+        digest = int.from_bytes(hashlib.sha256(payload).digest()[:8], "big")
+        return digest / 2**64
+
+    # ------------------------------------------------------------------
+    # trace lane
+    # ------------------------------------------------------------------
+    def fault_spans(self, makespan: float) -> list[tuple[str, str, int, float, float]]:
+        """Plan-level fault windows clipped to the run, as
+        ``(kind, label, node, start, end)`` tuples for the trace lane.
+        Point events (task failures) are recorded by the simulator."""
+        spans: list[tuple[str, str, int, float, float]] = []
+        horizon = max(makespan, 0.0)
+        for crash in self.plan.node_crashes:
+            if crash.at > horizon:
+                continue
+            end = min(crash.down_until, horizon)
+            label = f"crash node {crash.node}" + (
+                "" if crash.restart_after is not None else " (no restart)"
+            )
+            spans.append(("crash", label, crash.node, crash.at, end))
+        for slow in self.plan.stragglers:
+            if slow.at > horizon:
+                continue
+            spans.append(
+                (
+                    "straggler",
+                    f"straggler node {slow.node} x{slow.factor:g}",
+                    slow.node,
+                    slow.at,
+                    min(slow.at + slow.duration, horizon),
+                )
+            )
+        for lf in self.plan.link_faults:
+            if lf.at > horizon:
+                continue
+            if lf.partition:
+                label = "link partition"
+            else:
+                parts = []
+                if lf.bandwidth_factor < 1.0:
+                    parts.append(f"bw x{lf.bandwidth_factor:g}")
+                if lf.extra_latency_s > 0.0:
+                    parts.append(f"+{lf.extra_latency_s * 1e3:g}ms")
+                label = "link degraded (" + ", ".join(parts) + ")"
+            spans.append(("link", label, -1, lf.at, min(lf.at + lf.duration, horizon)))
+        spans.sort(key=lambda s: (s[3], s[4], s[0]))
+        return spans

@@ -1,6 +1,6 @@
 """Framework back-ends: RLlib-like, Stable-Baselines-like, TF-Agents-like."""
 
-from .base import Framework, TrainResult, TrainSpec, WorkerLayout
+from .base import EnvStepError, Framework, TrainResult, TrainSpec, WorkerLayout
 from .costmodel import (
     RLLIB_PROFILE,
     STABLE_PROFILE,
@@ -15,6 +15,7 @@ from .tfagents_like import TFAgentsLike
 
 __all__ = [
     "Framework",
+    "EnvStepError",
     "TrainSpec",
     "TrainResult",
     "WorkerLayout",

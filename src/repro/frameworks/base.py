@@ -37,10 +37,34 @@ from ..cluster import (
     paper_testbed,
 )
 from ..envs import Env, make
+from ..faults import (
+    ClusterFaultError,
+    FailFastRecovery,
+    FaultPlan,
+    RecoveryPolicy,
+)
 from ..rl import PPOAgent, PPOConfig, SACAgent, SACConfig
 from .costmodel import CostModel, FrameworkCostProfile
 
-__all__ = ["TrainSpec", "TrainResult", "WorkerLayout", "Framework"]
+__all__ = ["TrainSpec", "TrainResult", "WorkerLayout", "Framework", "EnvStepError"]
+
+
+class EnvStepError(RuntimeError):
+    """The environment raised mid-episode during training.
+
+    Wraps the original exception so campaigns record a structured trial
+    failure with the offending step count in ``extras`` instead of a bare
+    traceback killing an executor worker. The original message is kept in
+    ours so error-matching on it (and on ``RuntimeError``) still works.
+    """
+
+    def __init__(self, env_step: int, cause: BaseException) -> None:
+        super().__init__(f"env step {env_step} failed: {cause}")
+        self.extras = {
+            "env_step": int(env_step),
+            "failure_stage": "env_step",
+            "env_error": type(cause).__name__,
+        }
 
 
 @dataclass(frozen=True)
@@ -103,6 +127,14 @@ class TrainResult:
     #: (real env steps, mean recent landing) checkpoints
     learning_curve: list[tuple[int, float]] = field(default_factory=list)
     diagnostics: dict[str, float] = field(default_factory=dict)
+    #: extra virtual seconds vs. the fault-free run of the same DAG
+    recovery_overhead_s: float = 0.0
+    #: env-step equivalents of virtual work discarded by faults (paper scale)
+    work_lost_steps: float = 0.0
+    #: fraction of the virtual work completed (1.0 unless the run aborted)
+    completion_under_faults: float = 1.0
+    #: :meth:`repro.faults.FaultStats.to_dict` of the faulted run, if any
+    fault_stats: dict[str, Any] | None = None
 
     @property
     def computation_time_min(self) -> float:
@@ -194,10 +226,12 @@ class Framework:
         cluster: ClusterSpec | None = None,
         cost_model: CostModel | None = None,
         power_model: CPUPowerModel | None = None,
+        fault_plan: FaultPlan | None = None,
     ) -> None:
         self.cluster = cluster or paper_testbed(2)
         self.cost_model = cost_model or CostModel()
         self.power_model = power_model or CPUPowerModel()
+        self.fault_plan = fault_plan
 
     #: framework-default PPO overrides, applied only when the spec carries
     #: the stock :class:`PPOConfig` (real frameworks ship different
@@ -249,6 +283,58 @@ class Framework:
                     f"{node} has {self.cluster.nodes[node].n_cores}"
                 )
 
+    # ------------------------------------------------------------- faults
+    def recovery_policy(self, spec: TrainSpec, layout: WorkerLayout) -> RecoveryPolicy:
+        """How this back-end reacts when the virtual cluster breaks.
+
+        The default is fail-fast; back-ends with a supervisor override.
+        """
+        return FailFastRecovery()
+
+    def _run_virtual(
+        self,
+        spec: TrainSpec,
+        layout: WorkerLayout,
+        build: Callable[[ClusterSimulator], None],
+    ) -> tuple[Trace, dict[str, Any] | None]:
+        """Execute the virtual DAG — twice when a fault plan is active.
+
+        ``build`` submits the identical DAG to whatever simulator it is
+        given. The fault-free run always executes (it defines the
+        baseline for recovery overhead and is byte-identical to the
+        historical path); under a non-empty plan the same DAG replays on
+        a faulted simulator with this back-end's recovery policy, and the
+        faulted trace becomes the run's schedule.
+        """
+        sim = ClusterSimulator(self.cluster)
+        build(sim)
+        clean = sim.run()
+        plan = self.fault_plan
+        if plan is None or plan.is_empty:
+            return clean, None
+        policy = self.recovery_policy(spec, layout)
+        faulted = ClusterSimulator(self.cluster, faults=plan, recovery=policy)
+        build(faulted)
+        trace = faulted.run()
+        stats = faulted.stats
+        assert stats is not None
+        if stats.aborted and policy.on_abort == "raise":
+            raise ClusterFaultError(
+                f"virtual cluster fault aborted the run: {stats.abort_reason}",
+                extras={
+                    "abort_time_s": round(stats.abort_time, 6),
+                    "abort_reason": stats.abort_reason,
+                    "recovery_policy": policy.name,
+                    "failure_stage": "cluster_fault",
+                },
+            )
+        report = {
+            "clean_makespan_s": clean.makespan,
+            "policy": policy.name,
+            "stats": stats,
+        }
+        return trace, report
+
     # -------------------------------------------------------------- train
     def train(
         self,
@@ -296,7 +382,6 @@ class Framework:
         fragment = max(32, self.effective_batch(spec) // n_workers)
         buffer = agent.make_buffer(fragment, n_workers)
 
-        sim = ClusterSimulator(self.cluster)
         env_step_s = self.cost_model.env_step_s(n_stages, 1, self.profile)
         landings: list[float] = []
         curve: list[tuple[int, float]] = []
@@ -306,8 +391,6 @@ class Framework:
         fresh_state = agent.policy_state()
         stale_state = agent.policy_state()
 
-        prev_update_task = None
-        prev_bcasts: dict[int, Any] = {}
         steps_done = 0
         iteration = 0
         while steps_done < spec.total_steps:
@@ -334,7 +417,10 @@ class Framework:
                     boots = np.zeros(n_workers)
                     next_obs = np.zeros_like(obs_batch)
                     for i, w in enumerate(workers):
-                        o, r, term, trunc, info = w.step(actions[i])
+                        try:
+                            o, r, term, trunc, info = w.step(actions[i])
+                        except Exception as exc:
+                            raise EnvStepError(steps_done + t * n_workers + i, exc) from exc
                         rewards[i] = r
                         terms[i] = term
                         truncs[i] = trunc
@@ -372,68 +458,6 @@ class Framework:
                 meters.counter("env_steps").inc(fragment * n_workers)
                 meters.counter("updates").inc()
 
-            # ---- virtual execution DAG for this iteration
-            learner = layout.learner_node
-            actor_tasks = []
-            transfer_tasks = []
-            for node, members in groups.items():
-                if node == learner:
-                    deps = [prev_update_task] if prev_update_task else []
-                else:
-                    deps = [prev_bcasts[node]] if node in prev_bcasts else []
-                for i in members:
-                    actor_tasks.append(
-                        sim.task(
-                            f"rollout[{iteration}]w{i}",
-                            node,
-                            duration=fragment * env_step_s
-                            / self.cluster.nodes[node].core_speed,
-                            cores=1,
-                            deps=deps,
-                        )
-                    )
-                if layout.ships_experience and node != learner:
-                    node_tasks = [t for t in actor_tasks if t.node == node]
-                    transfer_tasks.append(
-                        sim.transfer(
-                            f"experience[{iteration}]n{node}",
-                            node,
-                            learner,
-                            n_bytes=len(members) * fragment * self.cost_model.transition_bytes,
-                            deps=node_tasks,
-                        )
-                    )
-            update_deps = [t for t in actor_tasks if t.node == learner] + transfer_tasks
-            if not update_deps:
-                update_deps = actor_tasks
-            batch = fragment * n_workers
-            update_task = sim.task(
-                f"ppo_update[{iteration}]",
-                learner,
-                duration=self.cost_model.ppo_update_s(
-                    batch,
-                    ppo_config.n_epochs,
-                    spec.cores_per_node,
-                    self.profile,
-                    self.cluster.nodes[learner].core_speed,
-                )
-                + self.profile.iteration_overhead_s,
-                cores=spec.cores_per_node,
-                deps=update_deps,
-            )
-            prev_update_task = update_task
-            prev_bcasts = {
-                node: sim.transfer(
-                    f"weights[{iteration}]n{node}",
-                    learner,
-                    node,
-                    n_bytes=self.cost_model.weights_bytes,
-                    deps=[update_task],
-                )
-                for node in groups
-                if node != learner
-            }
-
             iteration += 1
             if landings:
                 checkpoint = float(np.mean(landings[-40:]))
@@ -441,8 +465,110 @@ class Framework:
                 if callback is not None and callback(steps_done, checkpoint):
                     break
 
-        trace = sim.run()
-        return self._finalize(spec, agent, trace, landings, curve, steps_done, layout, telem)
+        # ---- virtual execution: replay the DAG of every iteration (twice
+        # when a fault plan is active — once clean, once faulted)
+        program = self._ppo_program(
+            spec, layout, groups, fragment, env_step_s, ppo_config, iteration
+        )
+        trace, fault_report = self._run_virtual(spec, layout, program)
+        return self._finalize(
+            spec,
+            agent,
+            trace,
+            landings,
+            curve,
+            steps_done,
+            layout,
+            telem,
+            fault_report=fault_report,
+            env_step_s=env_step_s,
+        )
+
+    def _ppo_program(
+        self,
+        spec: TrainSpec,
+        layout: WorkerLayout,
+        groups: dict[int, list[int]],
+        fragment: int,
+        env_step_s: float,
+        ppo_config: PPOConfig,
+        n_iterations: int,
+    ) -> Callable[[ClusterSimulator], None]:
+        """The PPO run's virtual DAG as a replayable builder.
+
+        Submission order matches the historical inline construction
+        exactly, so fault-free schedules are byte-identical.
+        """
+        n_workers = layout.n_workers
+        learner = layout.learner_node
+
+        def build(sim: ClusterSimulator) -> None:
+            prev_update_task = None
+            prev_bcasts: dict[int, Any] = {}
+            for iteration in range(n_iterations):
+                actor_tasks = []
+                transfer_tasks = []
+                for node, members in groups.items():
+                    if node == learner:
+                        deps = [prev_update_task] if prev_update_task else []
+                    else:
+                        deps = [prev_bcasts[node]] if node in prev_bcasts else []
+                    for i in members:
+                        actor_tasks.append(
+                            sim.task(
+                                f"rollout[{iteration}]w{i}",
+                                node,
+                                duration=fragment * env_step_s
+                                / self.cluster.nodes[node].core_speed,
+                                cores=1,
+                                deps=deps,
+                            )
+                        )
+                    if layout.ships_experience and node != learner:
+                        node_tasks = [t for t in actor_tasks if t.node == node]
+                        transfer_tasks.append(
+                            sim.transfer(
+                                f"experience[{iteration}]n{node}",
+                                node,
+                                learner,
+                                n_bytes=len(members)
+                                * fragment
+                                * self.cost_model.transition_bytes,
+                                deps=node_tasks,
+                            )
+                        )
+                update_deps = [t for t in actor_tasks if t.node == learner] + transfer_tasks
+                if not update_deps:
+                    update_deps = actor_tasks
+                batch = fragment * n_workers
+                update_task = sim.task(
+                    f"ppo_update[{iteration}]",
+                    learner,
+                    duration=self.cost_model.ppo_update_s(
+                        batch,
+                        ppo_config.n_epochs,
+                        spec.cores_per_node,
+                        self.profile,
+                        self.cluster.nodes[learner].core_speed,
+                    )
+                    + self.profile.iteration_overhead_s,
+                    cores=spec.cores_per_node,
+                    deps=update_deps,
+                )
+                prev_update_task = update_task
+                prev_bcasts = {
+                    node: sim.transfer(
+                        f"weights[{iteration}]n{node}",
+                        learner,
+                        node,
+                        n_bytes=self.cost_model.weights_bytes,
+                        deps=[update_task],
+                    )
+                    for node in groups
+                    if node != learner
+                }
+
+        return build
 
     # ---------------------------------------------------------------- SAC
     def _train_sac(
@@ -463,7 +589,6 @@ class Framework:
         n_stages = getattr(env.unwrapped, "rhs_evals_per_step", 6)
         agent = SACAgent(obs_dim, act_dim, spec.sac, seed=self._seed(spec, "agent"))
 
-        sim = ClusterSimulator(self.cluster)
         env_step_s = self.cost_model.env_step_s(n_stages, 1, self.profile)
         landings: list[float] = []
         curve: list[tuple[int, float]] = []
@@ -472,7 +597,7 @@ class Framework:
         map_action = _action_mapper(env)
         episode_return = 0.0
         block = 100  # env steps per virtual task block
-        prev_task = None
+        blocks: list[tuple[int, int]] = []  # (env steps, updates) per block
         steps_done = 0
         block_updates = 0
         block_start = 0
@@ -487,7 +612,10 @@ class Framework:
         while steps_done < spec.total_steps:
             out = agent.act(obs[None])
             action = np.clip(out["action"][0], -1.0, 1.0)
-            next_obs, reward, term, trunc, info = env.step(map_action(action))
+            try:
+                next_obs, reward, term, trunc, info = env.step(map_action(action))
+            except Exception as exc:
+                raise EnvStepError(steps_done, exc) from exc
             episode_return += float(reward)
             agent.observe(obs, action, float(reward), next_obs, bool(term))
             if term or trunc:
@@ -507,6 +635,64 @@ class Framework:
 
             if steps_done - block_start >= block or steps_done >= spec.total_steps:
                 n_steps = steps_done - block_start
+                blocks.append((n_steps, block_updates))
+                if telem_on:
+                    now = clock()
+                    rollout_span = telem.tracer.record(
+                        "rollout", block_t0, now, iteration=iteration, steps=n_steps
+                    )
+                    if update_acc > 0.0:
+                        telem.tracer.record(
+                            "update",
+                            now - update_acc,
+                            now,
+                            parent_id=rollout_span.span_id,
+                            iteration=iteration,
+                        )
+                        meters.histogram("sac/update_s").observe(update_acc)
+                    meters.histogram("sac/block_s").observe(now - block_t0)
+                    meters.counter("env_steps").inc(n_steps)
+                    meters.counter("updates").inc(block_updates)
+                    block_t0 = now
+                    update_acc = 0.0
+                block_updates = 0
+                block_start = steps_done
+                iteration += 1
+                if landings:
+                    checkpoint = float(np.mean(landings[-40:]))
+                    curve.append((steps_done, checkpoint))
+                    if callback is not None and callback(steps_done, checkpoint):
+                        break
+
+        program = self._sac_program(spec, layout, sampler_node, env_step_s, blocks)
+        trace, fault_report = self._run_virtual(spec, layout, program)
+        return self._finalize(
+            spec,
+            agent,
+            trace,
+            landings,
+            curve,
+            steps_done,
+            layout,
+            telem,
+            fault_report=fault_report,
+            env_step_s=env_step_s,
+        )
+
+    def _sac_program(
+        self,
+        spec: TrainSpec,
+        layout: WorkerLayout,
+        sampler_node: int,
+        env_step_s: float,
+        blocks: list[tuple[int, int]],
+    ) -> Callable[[ClusterSimulator], None]:
+        """The SAC run's virtual DAG as a replayable builder."""
+        learner = layout.learner_node
+
+        def build(sim: ClusterSimulator) -> None:
+            prev_task = None
+            for iteration, (n_steps, block_updates) in enumerate(blocks):
                 sample_task = sim.task(
                     f"sac_sample[{iteration}]",
                     sampler_node,
@@ -541,36 +727,8 @@ class Framework:
                     )
                 else:
                     prev_task = sample_task
-                if telem_on:
-                    now = clock()
-                    rollout_span = telem.tracer.record(
-                        "rollout", block_t0, now, iteration=iteration, steps=n_steps
-                    )
-                    if update_acc > 0.0:
-                        telem.tracer.record(
-                            "update",
-                            now - update_acc,
-                            now,
-                            parent_id=rollout_span.span_id,
-                            iteration=iteration,
-                        )
-                        meters.histogram("sac/update_s").observe(update_acc)
-                    meters.histogram("sac/block_s").observe(now - block_t0)
-                    meters.counter("env_steps").inc(n_steps)
-                    meters.counter("updates").inc(block_updates)
-                    block_t0 = now
-                    update_acc = 0.0
-                block_updates = 0
-                block_start = steps_done
-                iteration += 1
-                if landings:
-                    checkpoint = float(np.mean(landings[-40:]))
-                    curve.append((steps_done, checkpoint))
-                    if callback is not None and callback(steps_done, checkpoint):
-                        break
 
-        trace = sim.run()
-        return self._finalize(spec, agent, trace, landings, curve, steps_done, layout, telem)
+        return build
 
     # ------------------------------------------------------------ shared
     def _finalize(
@@ -583,6 +741,8 @@ class Framework:
         steps_done: int,
         layout: WorkerLayout,
         telemetry: Telemetry | None = None,
+        fault_report: dict[str, Any] | None = None,
+        env_step_s: float = 0.0,
     ) -> TrainResult:
         telem = Telemetry.or_null(telemetry)
         if telem.enabled:
@@ -596,8 +756,9 @@ class Framework:
         with telem.span("evaluate", episodes=spec.eval_episodes):
             eval_reward = self._evaluate(spec, agent)
         scale = spec.paper_steps / max(steps_done, 1)
-        virtual_time = trace.makespan * scale
-        nodes_used = sorted(set(layout.worker_nodes) | {layout.learner_node})
+        nodes_used = sorted(
+            set(layout.worker_nodes) | {layout.learner_node} | {t.node for t in trace.tasks}
+        )
         energy = energy_from_trace(
             trace, self.cluster, self.power_model, nodes_allocated=nodes_used
         )
@@ -610,6 +771,36 @@ class Framework:
             "mean_power_w": energy.mean_power_w,
             "bytes_transferred": trace.bytes_transferred(),
         }
+
+        makespan = trace.makespan
+        recovery_overhead_s = 0.0
+        work_lost_steps = 0.0
+        completion = 1.0
+        fault_stats: dict[str, Any] | None = None
+        if fault_report is not None:
+            stats = fault_report["stats"]
+            clean = float(fault_report["clean_makespan_s"])
+            if stats.aborted:
+                # documented penalty: an aborted run is charged twice the
+                # fault-free time and keeps its partial completion fraction
+                makespan = 2.0 * clean
+                completion = stats.completed_fraction
+            recovery_overhead_s = max(0.0, makespan - clean) * scale
+            if env_step_s > 0.0:
+                work_lost_steps = stats.work_lost_s / env_step_s * scale
+            fault_stats = stats.to_dict()
+            diagnostics.update(
+                {
+                    "fault_events": float(stats.n_events),
+                    "tasks_killed": float(stats.n_killed),
+                    "tasks_redispatched": float(stats.n_redispatched),
+                    "task_failures": float(stats.n_task_failures),
+                    "fault_work_lost_s": float(stats.work_lost_s),
+                    "clean_makespan_s": clean,
+                }
+            )
+        virtual_time = makespan * scale
+
         return TrainResult(
             framework=self.name,
             spec=spec,
@@ -620,6 +811,10 @@ class Framework:
             trace=trace,
             learning_curve=curve,
             diagnostics=diagnostics,
+            recovery_overhead_s=recovery_overhead_s,
+            work_lost_steps=work_lost_steps,
+            completion_under_faults=completion,
+            fault_stats=fault_stats,
         )
 
     def _evaluate(self, spec: TrainSpec, agent: PPOAgent | SACAgent) -> float:

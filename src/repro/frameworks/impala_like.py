@@ -27,8 +27,10 @@ import numpy as np
 
 from ..cluster import ClusterSimulator
 from ..envs import make
+from ..faults import RecoveryPolicy, ReDispatchRecovery
+from ..obs import Telemetry
 from ..rl.vtrace import VTraceAgent, VTraceConfig
-from .base import Framework, TrainResult, TrainSpec, WorkerLayout, _Worker
+from .base import EnvStepError, Framework, TrainResult, TrainSpec, WorkerLayout, _Worker
 from .costmodel import FrameworkCostProfile
 
 __all__ = ["ImpalaLike"]
@@ -77,19 +79,31 @@ class ImpalaLike(Framework):
                 "request algorithm='ppo' (the on-policy slot) to use it"
             )
 
+    def recovery_policy(self, spec: TrainSpec, layout: WorkerLayout) -> RecoveryPolicy:
+        """IMPALA actors are supervised like RLlib's: re-dispatch to the
+        surviving allocated nodes, restore the learner from its last
+        broadcast weights."""
+        nodes = sorted(set(layout.worker_nodes) | {layout.learner_node})
+        restore_s = self.profile.iteration_overhead_s + 2.0 * self.cluster.link.transfer_time(
+            self.cost_model.weights_bytes
+        )
+        return ReDispatchRecovery(nodes, restore_s=restore_s)
+
     def train(
         self,
         spec: TrainSpec,
         callback: Callable[[int, float], bool] | None = None,
+        telemetry: Telemetry | None = None,
     ) -> TrainResult:
         self.validate(spec)
-        return self._train_vtrace(spec, callback)
+        return self._train_vtrace(spec, callback, telemetry)
 
     # --------------------------------------------------------------- loop
     def _train_vtrace(
         self,
         spec: TrainSpec,
         callback: Callable[[int, float], bool] | None = None,
+        telemetry: Telemetry | None = None,
     ) -> TrainResult:
         layout = self.layout(spec)
         groups = layout.groups()
@@ -118,7 +132,6 @@ class ImpalaLike(Framework):
         )
         fragment = max(32, self.effective_batch(spec) // n_workers)
 
-        sim = ClusterSimulator(self.cluster)
         env_step_s = self.cost_model.env_step_s(n_stages, 1, self.profile)
         landings: list[float] = []
         curve: list[tuple[int, float]] = []
@@ -126,8 +139,6 @@ class ImpalaLike(Framework):
         # behaviour snapshots: a queue of past policy states
         snapshots = [agent.policy_state() for _ in range(self.policy_lag + 1)]
 
-        prev_updates: list[Any] = []
-        prev_bcasts: list[dict[int, Any]] = []
         steps_done = 0
         iteration = 0
         while steps_done < spec.total_steps:
@@ -148,7 +159,10 @@ class ImpalaLike(Framework):
                 act_buf[t] = out["action"]
                 logp_buf[t] = out["log_prob"]
                 for i, w in enumerate(workers):
-                    o, r, term, trunc, info = w.step(out["action"][i])
+                    try:
+                        o, r, term, trunc, info = w.step(out["action"][i])
+                    except Exception as exc:
+                        raise EnvStepError(steps_done + t * n_workers + i, exc) from exc
                     rew_buf[t, i] = r
                     term_buf[t, i] = float(term or trunc)
                     if term or trunc:
@@ -163,70 +177,6 @@ class ImpalaLike(Framework):
             snapshots.pop(0)
             steps_done += T * N
 
-            # ---- virtual DAG: actors depend on the lag-2 broadcast only
-            lag_index = iteration - self.policy_lag
-            actor_tasks = []
-            transfer_tasks = []
-            for node, members in groups.items():
-                if lag_index >= 0:
-                    if node == layout.learner_node:
-                        deps = [prev_updates[lag_index]]
-                    else:
-                        deps = [prev_bcasts[lag_index][node]]
-                else:
-                    deps = []
-                for i in members:
-                    actor_tasks.append(
-                        sim.task(
-                            f"impala_rollout[{iteration}]w{i}",
-                            node,
-                            duration=fragment * env_step_s
-                            / self.cluster.nodes[node].core_speed,
-                            cores=1,
-                            deps=deps,
-                        )
-                    )
-                if node != layout.learner_node:
-                    node_tasks = [t for t in actor_tasks if t.node == node]
-                    transfer_tasks.append(
-                        sim.transfer(
-                            f"impala_experience[{iteration}]n{node}",
-                            node,
-                            layout.learner_node,
-                            n_bytes=len(members) * fragment * self.cost_model.transition_bytes,
-                            deps=node_tasks,
-                        )
-                    )
-            update_deps = [t for t in actor_tasks if t.node == layout.learner_node]
-            update_deps += transfer_tasks
-            if prev_updates:
-                update_deps.append(prev_updates[-1])  # the learner itself is serial
-            update_task = sim.task(
-                f"impala_update[{iteration}]",
-                layout.learner_node,
-                duration=self.cost_model.ppo_update_s(
-                    T * N, 1, spec.cores_per_node, self.profile,
-                    self.cluster.nodes[layout.learner_node].core_speed,
-                )
-                + self.profile.iteration_overhead_s,
-                cores=spec.cores_per_node,
-                deps=update_deps,
-            )
-            prev_updates.append(update_task)
-            prev_bcasts.append(
-                {
-                    node: sim.transfer(
-                        f"impala_weights[{iteration}]n{node}",
-                        layout.learner_node,
-                        node,
-                        n_bytes=self.cost_model.weights_bytes,
-                        deps=[update_task],
-                    )
-                    for node in groups
-                    if node != layout.learner_node
-                }
-            )
-
             iteration += 1
             if landings:
                 checkpoint = float(np.mean(landings[-40:]))
@@ -234,5 +184,101 @@ class ImpalaLike(Framework):
                 if callback is not None and callback(steps_done, checkpoint):
                     break
 
-        trace = sim.run()
-        return self._finalize(spec, agent, trace, landings, curve, steps_done, layout)
+        program = self._vtrace_program(spec, layout, groups, fragment, env_step_s, iteration)
+        trace, fault_report = self._run_virtual(spec, layout, program)
+        return self._finalize(
+            spec,
+            agent,
+            trace,
+            landings,
+            curve,
+            steps_done,
+            layout,
+            telemetry,
+            fault_report=fault_report,
+            env_step_s=env_step_s,
+        )
+
+    def _vtrace_program(
+        self,
+        spec: TrainSpec,
+        layout: WorkerLayout,
+        groups: dict[int, list[int]],
+        fragment: int,
+        env_step_s: float,
+        n_iterations: int,
+    ) -> Callable[[ClusterSimulator], None]:
+        """The IMPALA run's virtual DAG as a replayable builder."""
+        n_workers = layout.n_workers
+
+        def build(sim: ClusterSimulator) -> None:
+            prev_updates: list[Any] = []
+            prev_bcasts: list[dict[int, Any]] = []
+            for iteration in range(n_iterations):
+                # actors depend on the lag-2 broadcast only
+                lag_index = iteration - self.policy_lag
+                actor_tasks = []
+                transfer_tasks = []
+                for node, members in groups.items():
+                    if lag_index >= 0:
+                        if node == layout.learner_node:
+                            deps = [prev_updates[lag_index]]
+                        else:
+                            deps = [prev_bcasts[lag_index][node]]
+                    else:
+                        deps = []
+                    for i in members:
+                        actor_tasks.append(
+                            sim.task(
+                                f"impala_rollout[{iteration}]w{i}",
+                                node,
+                                duration=fragment * env_step_s
+                                / self.cluster.nodes[node].core_speed,
+                                cores=1,
+                                deps=deps,
+                            )
+                        )
+                    if node != layout.learner_node:
+                        node_tasks = [t for t in actor_tasks if t.node == node]
+                        transfer_tasks.append(
+                            sim.transfer(
+                                f"impala_experience[{iteration}]n{node}",
+                                node,
+                                layout.learner_node,
+                                n_bytes=len(members)
+                                * fragment
+                                * self.cost_model.transition_bytes,
+                                deps=node_tasks,
+                            )
+                        )
+                update_deps = [t for t in actor_tasks if t.node == layout.learner_node]
+                update_deps += transfer_tasks
+                if prev_updates:
+                    update_deps.append(prev_updates[-1])  # the learner itself is serial
+                update_task = sim.task(
+                    f"impala_update[{iteration}]",
+                    layout.learner_node,
+                    duration=self.cost_model.ppo_update_s(
+                        fragment * n_workers, 1, spec.cores_per_node, self.profile,
+                        self.cluster.nodes[layout.learner_node].core_speed,
+                    )
+                    + self.profile.iteration_overhead_s,
+                    cores=spec.cores_per_node,
+                    deps=update_deps,
+                )
+                prev_updates.append(update_task)
+                prev_bcasts.append(
+                    {
+                        node: sim.transfer(
+                            f"impala_weights[{iteration}]n{node}",
+                            layout.learner_node,
+                            node,
+                            n_bytes=self.cost_model.weights_bytes,
+                            deps=[update_task],
+                        )
+                        for node in groups
+                        if node != layout.learner_node
+                    }
+                )
+
+        return build

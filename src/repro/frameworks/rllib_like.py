@@ -16,6 +16,7 @@ Structure reproduced from RLlib's synchronous-sampling PPO deployment:
 
 from __future__ import annotations
 
+from ..faults import RecoveryPolicy, ReDispatchRecovery
 from .base import Framework, TrainSpec, WorkerLayout
 from .costmodel import RLLIB_PROFILE
 
@@ -28,6 +29,17 @@ class RLlibLike(Framework):
     name = "rllib"
     supports_multi_node = True
     profile = RLLIB_PROFILE
+
+    def recovery_policy(self, spec: TrainSpec, layout: WorkerLayout) -> RecoveryPolicy:
+        """Ray supervision: lost rollout workers are detected and their
+        tasks re-dispatched to surviving allocated nodes; the learner
+        restores from its last weight-sync checkpoint (one iteration
+        overhead plus a round-trip of the weights over the link)."""
+        nodes = sorted(set(layout.worker_nodes) | {layout.learner_node})
+        restore_s = self.profile.iteration_overhead_s + 2.0 * self.cluster.link.transfer_time(
+            self.cost_model.weights_bytes
+        )
+        return ReDispatchRecovery(nodes, restore_s=restore_s)
 
     def layout(self, spec: TrainSpec) -> WorkerLayout:
         worker_nodes: list[int] = []

@@ -10,6 +10,7 @@ best rewards (solutions 14 and 16) come from this framework.
 
 from __future__ import annotations
 
+from ..faults import FailFastRecovery, RecoveryPolicy
 from .base import Framework, TrainSpec, WorkerLayout
 from .costmodel import STABLE_PROFILE
 
@@ -22,6 +23,11 @@ class StableBaselinesLike(Framework):
     name = "stable"
     supports_multi_node = False
     profile = STABLE_PROFILE
+
+    def recovery_policy(self, spec: TrainSpec, layout: WorkerLayout) -> RecoveryPolicy:
+        """A single-process vec-env stack has no supervisor: the first
+        crash of its node fails the trial (typed ClusterFaultError)."""
+        return FailFastRecovery()
 
     def layout(self, spec: TrainSpec) -> WorkerLayout:
         return WorkerLayout(

@@ -11,6 +11,7 @@ configuration at 120 kJ.
 
 from __future__ import annotations
 
+from ..faults import DegradeRecovery, RecoveryPolicy
 from .base import Framework, TrainSpec, WorkerLayout
 from .costmodel import TFAGENTS_PROFILE
 
@@ -23,6 +24,13 @@ class TFAgentsLike(Framework):
     name = "tfagents"
     supports_multi_node = False
     profile = TFAGENTS_PROFILE
+
+    def recovery_policy(self, spec: TrainSpec, layout: WorkerLayout) -> RecoveryPolicy:
+        """The parallel drivers block until their node returns (the run
+        degrades: progress stalls for the downtime and killed work is
+        re-executed); a crash with no scheduled restart aborts with the
+        documented completion penalty."""
+        return DegradeRecovery()
     #: TF-Agents' stock PPO runs fewer optimizer epochs per batch
     ppo_defaults = {"n_epochs": 6}
 

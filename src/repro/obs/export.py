@@ -133,8 +133,13 @@ def chrome_trace(records: Iterable[dict[str, Any]]) -> dict[str, Any]:
     tids: dict[tuple[Any, str], int] = {}
     for vspan in vspans:
         trial = _trial_of(vspan)
-        if vspan.get("kind") == "transfer":
+        kind = vspan.get("kind")
+        if kind == "transfer":
             lane = f"link {vspan['src']}→{vspan['dst']}"
+        elif kind == "fault":
+            # injected faults get their own dedicated track per trial so
+            # crashes/stragglers/partitions read against the schedule
+            lane = "faults"
         else:
             lane = f"node {vspan.get('node', '?')}"
         key = (trial, lane)
@@ -149,12 +154,29 @@ def chrome_trace(records: Iterable[dict[str, Any]]) -> dict[str, Any]:
                 {"ph": "M", "name": "thread_sort_index", "pid": 2, "tid": tid,
                  "args": {"sort_index": tid}}
             )
-        args = {k: vspan[k] for k in ("node", "cores", "src", "dst", "n_bytes") if k in vspan}
+        args = {
+            k: vspan[k]
+            for k in ("node", "cores", "src", "dst", "n_bytes", "fault_kind")
+            if k in vspan
+        }
         args.update(vspan.get("ctx") or {})
+        if kind == "fault" and vspan["end"] == vspan["start"]:
+            # point faults (task failures) render as instants
+            trace_events.append({
+                "ph": "i",
+                "s": "t",
+                "name": vspan["name"],
+                "cat": "virtual.fault",
+                "pid": 2,
+                "tid": tids[key],
+                "ts": vspan["start"] * _US,
+                "args": args,
+            })
+            continue
         trace_events.append({
             "ph": "X",
             "name": vspan["name"],
-            "cat": f"virtual.{vspan.get('kind', 'task')}",
+            "cat": f"virtual.{kind or 'task'}",
             "pid": 2,
             "tid": tids[key],
             "ts": vspan["start"] * _US,
@@ -245,12 +267,16 @@ def summarize(records: Iterable[dict[str, Any]]) -> str:
     if vspans:
         trials = sorted({t for t in (_trial_of(v) for v in vspans) if t is not None})
         makespan = max(v["end"] for v in vspans)
-        n_tasks = sum(1 for v in vspans if v.get("kind") != "transfer")
+        n_faults = sum(1 for v in vspans if v.get("kind") == "fault")
+        n_transfers = sum(1 for v in vspans if v.get("kind") == "transfer")
+        n_tasks = len(vspans) - n_transfers - n_faults
         lines.append("")
         lines.append(
-            f"virtual time: {n_tasks} tasks, {len(vspans) - n_tasks} transfers "
+            f"virtual time: {n_tasks} tasks, {n_transfers} transfers "
             f"over {len(trials)} trials; max virtual end {makespan:.2f}s"
         )
+        if n_faults:
+            lines.append(f"injected faults: {n_faults} fault spans on the fault lane")
     return "\n".join(lines)
 
 

@@ -24,6 +24,7 @@ from ..cluster import ClusterSpec, paper_testbed
 from ..core import (
     Campaign,
     Categorical,
+    CompletionUnderFaults,
     ComputationTime,
     Configuration,
     Explorer,
@@ -31,9 +32,12 @@ from ..core import (
     ParameterSpace,
     ParetoFrontRanking,
     PowerConsumption,
+    RecoveryOverhead,
     Reward,
+    WorkLost,
 )
 from ..core.pruning import Pruner
+from ..faults import FaultPlan
 from ..frameworks import TrainResult, TrainSpec, get_framework
 from ..obs import Telemetry
 from .calibration import DEFAULT_SCALE, Scale, default_power_model
@@ -90,18 +94,37 @@ def airdrop_parameter_space() -> ParameterSpace:
     )
 
 
-def paper_metrics() -> MetricSet:
-    """Reward, Computation Time, Power Consumption (§V-d)."""
-    return MetricSet([Reward(), ComputationTime(), PowerConsumption()])
+def paper_metrics(resilience: bool = False) -> MetricSet:
+    """Reward, Computation Time, Power Consumption (§V-d).
+
+    With ``resilience=True`` (a fault plan is active) the set grows the
+    three resilience metrics so recovery cost becomes a decision axis.
+    """
+    metrics = [Reward(), ComputationTime(), PowerConsumption()]
+    if resilience:
+        metrics += [RecoveryOverhead(), WorkLost(), CompletionUnderFaults()]
+    return MetricSet(metrics)
 
 
-def paper_rankers() -> list[ParetoFrontRanking]:
-    """The paper's three Pareto fronts (Figures 4, 5 and 6)."""
-    return [
+def paper_rankers(resilience: bool = False) -> list[ParetoFrontRanking]:
+    """The paper's three Pareto fronts (Figures 4, 5 and 6).
+
+    With ``resilience=True`` a fourth front trades reward and speed
+    against the recovery overhead the fault plan extracts.
+    """
+    rankers = [
         ParetoFrontRanking(["reward", "computation_time"], name="fig4"),
         ParetoFrontRanking(["power_consumption", "computation_time"], name="fig5"),
         ParetoFrontRanking(["reward", "power_consumption"], name="fig6"),
     ]
+    if resilience:
+        rankers.append(
+            ParetoFrontRanking(
+                ["reward", "computation_time", "recovery_overhead"],
+                name="resilience",
+            )
+        )
+    return rankers
 
 
 @dataclass
@@ -126,6 +149,9 @@ class AirdropCaseStudy:
     keep_results: bool = True
     #: reward level defining "converged" for the time_to_threshold metric
     convergence_threshold: float = -1.0
+    #: deterministic fault plan injected into every trial's virtual run
+    #: (None or an empty plan leaves the fault-free path untouched)
+    fault_plan: FaultPlan | None = None
 
     def __post_init__(self) -> None:
         self.results: dict[int, TrainResult] = {}
@@ -152,6 +178,7 @@ class AirdropCaseStudy:
             str(config["framework"]),
             cluster=self.cluster,
             power_model=default_power_model(),
+            fault_plan=self.fault_plan,
         )
         result = framework.train(
             self.make_spec(config, seed), callback=progress, telemetry=telemetry
@@ -160,7 +187,7 @@ class AirdropCaseStudy:
             self.results[config.trial_id] = result
         scale = result.diagnostics.get("scale", 1.0)
         ttt = self._time_to_threshold(result)
-        return {
+        measurements = {
             "time_to_threshold": ttt,
             "reward": result.reward,
             "computation_time": result.computation_time_s,
@@ -169,6 +196,11 @@ class AirdropCaseStudy:
             "eval_reward": result.eval_reward,
             **{f"diag_{k}": v for k, v in result.diagnostics.items()},
         }
+        if self.fault_plan is not None and not self.fault_plan.is_empty:
+            measurements["recovery_overhead"] = result.recovery_overhead_s
+            measurements["work_lost"] = result.work_lost_steps
+            measurements["completion_under_faults"] = result.completion_under_faults
+        return measurements
 
     def _time_to_threshold(self, result: TrainResult) -> float:
         """Virtual seconds until the curve crosses the threshold (2x the
@@ -212,6 +244,7 @@ def table1_campaign(
     env_kwargs: dict[str, Any] | None = None,
     seed_strategy: str = "fixed",
     telemetry: Telemetry | None = None,
+    fault_plan: FaultPlan | None = None,
     **campaign_kwargs: Any,
 ) -> Campaign:
     """The full §V campaign: airdrop case study × 18 configs × 3 metrics.
@@ -221,17 +254,26 @@ def table1_campaign(
     ``trial_timeout``, ``journal``, ...) pass through to
     :class:`~repro.core.Campaign` — the case study and the Table I
     explorer are picklable, so the process executor works out of the box.
+
+    Passing a non-empty ``fault_plan`` injects the same deterministic
+    faults into every trial's virtual run, adds the resilience metrics
+    and a fourth ("resilience") Pareto front.
     """
     space = airdrop_parameter_space()
+    if fault_plan is not None and fault_plan.is_empty:
+        fault_plan = None
     case_study = AirdropCaseStudy(
-        scale=scale or DEFAULT_SCALE, env_kwargs=dict(env_kwargs or {})
+        scale=scale or DEFAULT_SCALE,
+        env_kwargs=dict(env_kwargs or {}),
+        fault_plan=fault_plan,
     )
+    resilience = fault_plan is not None
     return Campaign(
         case_study=case_study,
         space=space,
         explorer=explorer or Table1Explorer(space),
-        metrics=paper_metrics(),
-        rankers=paper_rankers(),
+        metrics=paper_metrics(resilience=resilience),
+        rankers=paper_rankers(resilience=resilience),
         pruner=pruner,
         base_seed=seed,
         seed_strategy=seed_strategy,

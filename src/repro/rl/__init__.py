@@ -3,6 +3,7 @@
 from .agent import Agent
 from .buffers import ReplayBuffer, RolloutBatch, RolloutBuffer, Transition, compute_gae
 from .distributions import Categorical, DiagGaussian, TanhGaussian
+from .errors import DivergenceError, check_finite_update
 from .nn import MLP, Dense, Identity, Parameter, ReLU, Tanh, clip_grad_norm, orthogonal_init
 from .optim import SGD, Adam, Optimizer
 from .prioritized import PrioritizedBatch, PrioritizedReplayBuffer, SumTree
@@ -42,4 +43,6 @@ __all__ = [
     "VTraceAgent",
     "VTraceConfig",
     "vtrace_returns",
+    "DivergenceError",
+    "check_finite_update",
 ]

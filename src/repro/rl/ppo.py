@@ -26,6 +26,7 @@ import numpy as np
 from .agent import Agent
 from .buffers import RolloutBatch, RolloutBuffer
 from .distributions import Categorical, DiagGaussian
+from .errors import check_finite_update
 from .nn import MLP, Parameter, clip_grad_norm
 from .optim import Adam
 
@@ -190,6 +191,12 @@ class PPOAgent(Agent):
         self.critic.backward(dvalues)
         self.log_std.grad += dlog_std
 
+        check_finite_update(
+            "ppo",
+            self.n_updates,
+            {"policy_loss": float(policy_loss), "value_loss": float(value_loss)},
+            self._params,
+        )
         grad_norm = clip_grad_norm(self._params, cfg.max_grad_norm)
         self.optimizer.step()
         self.n_updates += 1
@@ -348,6 +355,12 @@ class CategoricalPPOAgent(Agent):
         self.critic.zero_grad()
         self.actor.backward(dlogits)
         self.critic.backward(dvalues)
+        check_finite_update(
+            "ppo",
+            self.n_updates,
+            {"policy_loss": float(policy_loss), "value_loss": float(value_loss)},
+            self._params,
+        )
         grad_norm = clip_grad_norm(self._params, cfg.max_grad_norm)
         self.optimizer.step()
         self.n_updates += 1

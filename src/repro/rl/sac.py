@@ -26,6 +26,7 @@ from .agent import Agent
 from .buffers import ReplayBuffer, Transition
 from .prioritized import PrioritizedBatch, PrioritizedReplayBuffer
 from .distributions import LOG_STD_MAX, LOG_STD_MIN, TanhGaussian
+from .errors import check_finite_update
 from .nn import MLP, Parameter, clip_grad_norm
 from .optim import Adam
 
@@ -229,6 +230,9 @@ class SACAgent(Agent):
         self.q2.zero_grad()
         self.q1.backward(w * (q1 - target) / n)
         self.q2.backward(w * (q2 - target) / n)
+        check_finite_update(
+            "sac", self.n_updates, {"q_loss": q_loss}, self.q_optimizer.params
+        )
         clip_grad_norm(self.q_optimizer.params, cfg.max_grad_norm)
         self.q_optimizer.step()
         if isinstance(batch, PrioritizedBatch):
@@ -263,6 +267,12 @@ class SACAgent(Agent):
         dlog_std = np.where(active, dlog_std, 0.0)
         self.policy.zero_grad()
         self.policy.backward(np.concatenate([dmean, dlog_std], axis=-1))
+        check_finite_update(
+            "sac",
+            self.n_updates,
+            {"policy_loss": policy_loss},
+            self.policy_optimizer.params,
+        )
         clip_grad_norm(self.policy_optimizer.params, cfg.max_grad_norm)
         self.policy_optimizer.step()
 

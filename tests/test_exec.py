@@ -348,6 +348,28 @@ class TestJournal:
         with pytest.raises(JournalMismatch):
             campaign(journal=CampaignJournal.resume(path), base_seed=1).run()
 
+    def test_identity_mismatch_names_the_field(self, tmp_path):
+        path = tmp_path / "journal.jsonl"
+        campaign(journal=CampaignJournal(path), base_seed=0).run()
+        with pytest.raises(JournalMismatch, match="base_seed"):
+            campaign(journal=CampaignJournal.resume(path), base_seed=1).run()
+
+    def test_space_mismatch_rejected(self, tmp_path):
+        path = tmp_path / "journal.jsonl"
+        campaign(journal=CampaignJournal(path)).run()
+        grown = ParameterSpace(
+            [Categorical("quality", [1, 2, 3, 4, 5]), Categorical("cost", [10, 20])]
+        )
+        other = Campaign(
+            PicklableCaseStudy(),
+            grown,
+            GridSearch(grown),
+            metrics(),
+            journal=CampaignJournal.resume(path),
+        )
+        with pytest.raises(JournalMismatch, match="space"):
+            other.run()
+
     def test_torn_tail_is_dropped(self, tmp_path):
         path = tmp_path / "journal.jsonl"
         campaign(journal=CampaignJournal(path)).run()
@@ -355,6 +377,18 @@ class TestJournal:
             handle.write('{"type": "trial", "trial_id": 99, "conf')  # torn write
         journal = CampaignJournal.resume(path)
         assert journal.n_recorded == 8
+
+    def test_torn_header_is_rejected(self, tmp_path):
+        path = tmp_path / "journal.jsonl"
+        path.write_text('{"type": "campaign", "format_version": 1, "explo\n')
+        with pytest.raises(JournalMismatch, match="header"):
+            CampaignJournal.resume(path)
+
+    def test_non_campaign_header_is_rejected(self, tmp_path):
+        path = tmp_path / "journal.jsonl"
+        path.write_text('{"type": "trial", "trial_id": 1}\n')
+        with pytest.raises(JournalMismatch, match="header"):
+            CampaignJournal.resume(path)
 
     def test_lookup_requires_matching_config(self, tmp_path):
         path = tmp_path / "journal.jsonl"

@@ -18,7 +18,15 @@ from repro.core import (
     TrialStatus,
 )
 from repro.envs import Box, Env, register
-from repro.frameworks import TrainSpec, get_framework
+from repro.frameworks import EnvStepError, TrainSpec, get_framework
+from repro.rl import (
+    DivergenceError,
+    PPOAgent,
+    RolloutBatch,
+    SACAgent,
+    SACConfig,
+    Transition,
+)
 
 
 class ExplodingEnv(Env):
@@ -82,6 +90,89 @@ class TestFrameworkFailurePropagation:
         )
         with pytest.raises(RuntimeError, match="hardware fault"):
             fw.train(spec)
+
+    def test_env_crash_is_typed_with_step_count(self):
+        register("Exploding-v0", ExplodingEnv, max_episode_steps=10, force=True)
+        fw = get_framework("stable")
+        spec = TrainSpec(
+            algorithm="ppo", n_nodes=1, cores_per_node=2,
+            env_id="Exploding-v0", env_kwargs={"fuse": 30},
+            total_steps=500, eval_episodes=1,
+        )
+        with pytest.raises(EnvStepError) as excinfo:
+            fw.train(spec)
+        exc = excinfo.value
+        assert exc.extras["failure_stage"] == "env_step"
+        assert exc.extras["env_error"] == "RuntimeError"
+        # the fuse burns on the ~30th local step of one of the workers;
+        # the recorded index is the global (across-workers) step count
+        assert 0 < exc.extras["env_step"] <= 100
+
+    def test_campaign_records_structured_env_failure(self):
+        register("Exploding-v0", ExplodingEnv, max_episode_steps=10, force=True)
+
+        class ExplodingStudy:
+            def evaluate(self, config, seed, progress=None):
+                spec = TrainSpec(
+                    algorithm="ppo", n_nodes=1, cores_per_node=2,
+                    env_id="Exploding-v0", env_kwargs={"fuse": 30},
+                    total_steps=500, eval_episodes=1,
+                )
+                get_framework("stable").train(spec)
+                return {"loss": 0.0}
+
+        space = ParameterSpace([Categorical("x", [1])])
+        report = Campaign(
+            ExplodingStudy(),
+            space,
+            GridSearch(space),
+            MetricSet([Metric(name="loss", direction="min")]),
+        ).run()
+        (failed,) = [t for t in report.table if not t.ok]
+        assert failed.extras["failure_stage"] == "env_step"
+        assert isinstance(failed.extras["env_step"], int)
+        assert "hardware fault" in failed.extras["error"]
+
+
+class TestDivergenceGuards:
+    def test_ppo_nan_loss_raises_before_optimizer_step(self):
+        agent = PPOAgent(3, 1, seed=0)
+        n = 8
+        batch = RolloutBatch(
+            observations=np.zeros((n, 3)),
+            actions=np.zeros((n, 1)),
+            log_probs=np.zeros(n),
+            advantages=np.full(n, np.nan),
+            returns=np.zeros(n),
+            values=np.zeros(n),
+        )
+        before = agent.actor.state_dict()
+        with np.errstate(invalid="ignore"):
+            with pytest.raises(DivergenceError) as excinfo:
+                agent._update_minibatch(batch)
+        assert excinfo.value.extras["failure_stage"] == "divergence"
+        assert excinfo.value.extras["algorithm"] == "ppo"
+        assert excinfo.value.extras["quantity"] == "policy_loss"
+        # the optimizer never stepped: weights are untouched
+        after = agent.actor.state_dict()
+        assert all(np.array_equal(before[k], after[k]) for k in before)
+
+    def test_sac_nan_reward_raises_before_optimizer_step(self):
+        agent = SACAgent(2, 1, SACConfig(hidden_sizes=(16,)), seed=0)
+        n = 4
+        batch = Transition(
+            observations=np.zeros((n, 2)),
+            actions=np.zeros((n, 1)),
+            rewards=np.full(n, np.nan),
+            next_observations=np.zeros((n, 2)),
+            terminations=np.zeros(n),
+        )
+        with np.errstate(invalid="ignore"):
+            with pytest.raises(DivergenceError) as excinfo:
+                agent._update_once(batch)
+        assert excinfo.value.extras["algorithm"] == "sac"
+        assert excinfo.value.extras["quantity"] == "q_loss"
+        assert excinfo.value.extras["n_updates"] == 0
 
 
 class TestCampaignQuarantinesFailures:
