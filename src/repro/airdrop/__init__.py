@@ -1,11 +1,14 @@
 """The Airdrop Package Delivery Simulator (the paper's §IV case study)."""
 
 from ..envs import register, registry
+from .batch import AirdropVectorEnv
 from .dynamics import (
     STATE_DIM,
     ParafoilParams,
+    make_batch_rhs,
     make_rhs,
     parafoil_rhs,
+    parafoil_rhs_batch,
     steady_bank,
     trim_glide_ratio,
     turn_radius,
@@ -26,11 +29,14 @@ from .wind import WindConfig, WindModel
 
 __all__ = [
     "AirdropEnv",
+    "AirdropVectorEnv",
     "OBS_DIM",
     "STATE_DIM",
     "ParafoilParams",
     "parafoil_rhs",
+    "parafoil_rhs_batch",
     "make_rhs",
+    "make_batch_rhs",
     "steady_bank",
     "trim_glide_ratio",
     "turn_radius",
@@ -55,4 +61,5 @@ if "Airdrop-v0" not in registry:
         "Airdrop-v0",
         AirdropEnv,
         max_episode_steps=600,
+        vector_entry_point=AirdropVectorEnv,
     )

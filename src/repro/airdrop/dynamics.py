@@ -41,7 +41,9 @@ import numpy as np
 __all__ = [
     "ParafoilParams",
     "parafoil_rhs",
+    "parafoil_rhs_batch",
     "make_rhs",
+    "make_batch_rhs",
     "trim_glide_ratio",
     "turn_radius",
     "steady_bank",
@@ -164,6 +166,64 @@ def parafoil_rhs(
     return np.array([dx, dy, dz, omega, domega, dvh, dvz, dphi, dp])
 
 
+def parafoil_rhs_batch(
+    t: float,
+    states: np.ndarray,
+    u: np.ndarray,
+    wind: np.ndarray,
+    params: ParafoilParams,
+) -> np.ndarray:
+    """Time derivative of ``N`` parafoil states at once.
+
+    The batched twin of :func:`parafoil_rhs`: ``states`` is ``(N, 9)``,
+    ``u`` is ``(N,)`` and ``wind`` is ``(N, 2)``. Every operation is an
+    elementwise ufunc, so row ``i`` of the result is bit-identical to
+    ``parafoil_rhs(t, states[i], u[i], wind[i], params)`` — the property
+    the vectorized environment's exactness guarantee rests on.
+    """
+    psi = states[:, IPSI]
+    omega = states[:, IOMEGA]
+    vh = states[:, IVH]
+    vz = states[:, IVZ]
+    phi = states[:, IPHI]
+    p = states[:, IP]
+
+    cos_psi = np.cos(psi)
+    sin_psi = np.sin(psi)
+    sin_phi = np.sin(phi)
+    sin_phi_sq = sin_phi * sin_phi
+
+    v_lat = params.slip_gain * vh * sin_phi
+    dx = vh * cos_psi - v_lat * sin_psi + wind[:, 0]
+    dy = vh * sin_psi + v_lat * cos_psi + wind[:, 1]
+    dz = -vz
+
+    omega_cmd = u * params.omega_max
+    domega = (omega_cmd - omega) / params.tau_turn - params.turn_drag * omega * np.abs(omega)
+
+    phi_ss = np.arctan2(vh * omega, _GRAVITY)
+    w0 = params.roll_omega0
+    dphi = p
+    dp = -w0 * w0 * (np.sin(phi) - np.sin(phi_ss)) - 2.0 * params.roll_zeta * w0 * p
+
+    vh_target = params.v_trim - params.bank_speed_loss * sin_phi_sq
+    vz_target = params.vz_trim + params.bank_sink_gain * sin_phi_sq
+    dvh = (vh_target - vh) / params.tau_v
+    dvz = (vz_target - vz) / params.tau_vz
+
+    out = np.empty_like(states)
+    out[:, IX] = dx
+    out[:, IY] = dy
+    out[:, IZ] = dz
+    out[:, IPSI] = omega
+    out[:, IOMEGA] = domega
+    out[:, IVH] = dvh
+    out[:, IVZ] = dvz
+    out[:, IPHI] = dphi
+    out[:, IP] = dp
+    return out
+
+
 def make_rhs(u: float, wind: np.ndarray, params: ParafoilParams):
     """Bind control and wind into an ``f(t, y)`` suitable for the integrators."""
     u = float(np.clip(u, -1.0, 1.0))
@@ -171,5 +231,16 @@ def make_rhs(u: float, wind: np.ndarray, params: ParafoilParams):
 
     def rhs(t: float, y: np.ndarray) -> np.ndarray:
         return parafoil_rhs(t, y, u, wind, params)
+
+    return rhs
+
+
+def make_batch_rhs(u: np.ndarray, wind: np.ndarray, params: ParafoilParams):
+    """Bind per-env controls/winds into an ``f(t, Y)`` over ``(N, 9)`` states."""
+    u = np.clip(np.asarray(u, dtype=np.float64), -1.0, 1.0)
+    wind = np.asarray(wind, dtype=np.float64)
+
+    def rhs(t: float, states: np.ndarray) -> np.ndarray:
+        return parafoil_rhs_batch(t, states, u, wind, params)
 
     return rhs

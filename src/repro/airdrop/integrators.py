@@ -95,8 +95,24 @@ class ButcherTableau:
         return int(self.b.size)
 
     def stages(self, rhs: RHS, t: float, y: np.ndarray, h: float) -> np.ndarray:
-        """Evaluate all stage derivatives ``K`` (shape ``(n_stages, n)``)."""
+        """Evaluate all stage derivatives ``K``.
+
+        ``y`` may be a single state (shape ``(n,)``, giving ``K`` of shape
+        ``(n_stages, n)``) or a batch of states (shape ``(N, n)``, giving
+        ``K`` of shape ``(n_stages, N, n)``) when ``rhs`` itself is
+        batched. The batched stage accumulation uses a stacked
+        matrix-vector product, which reduces over the stage axis in the
+        same order as the single-state ``a @ k`` — row ``i`` of a batched
+        step is bit-identical to integrating state ``i`` alone.
+        """
         y = np.asarray(y, dtype=np.float64)
+        if y.ndim > 1:
+            k = np.empty((self.n_stages, *y.shape), dtype=np.float64)
+            k[0] = rhs(t, y)
+            for s in range(1, self.n_stages):
+                y_stage = y + h * (k[:s].transpose(1, 2, 0) @ self.a[s, :s])
+                k[s] = rhs(t + self.c[s] * h, y_stage)
+            return k
         k = np.empty((self.n_stages, y.size), dtype=np.float64)
         k[0] = rhs(t, y)
         for s in range(1, self.n_stages):
@@ -105,9 +121,17 @@ class ButcherTableau:
         return k
 
     def step(self, rhs: RHS, t: float, y: np.ndarray, h: float) -> np.ndarray:
-        """Advance ``y`` by one fixed step of size ``h``."""
+        """Advance ``y`` by one fixed step of size ``h``.
+
+        Accepts a single state ``(n,)`` or a batch ``(N, n)`` (with a
+        correspondingly batched ``rhs``); the batched path advances every
+        row exactly as the single-state path would.
+        """
         k = self.stages(rhs, t, y, h)
-        return np.asarray(y, dtype=np.float64) + h * (self.b @ k)
+        y = np.asarray(y, dtype=np.float64)
+        if y.ndim > 1:
+            return y + h * (k.transpose(1, 2, 0) @ self.b)
+        return y + h * (self.b @ k)
 
     def error_estimate(self, k: np.ndarray, h: float) -> np.ndarray:
         """Embedded local error estimate for pre-computed stages ``k``."""

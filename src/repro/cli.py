@@ -153,6 +153,27 @@ def _add_campaign_parser(subparsers) -> None:
         help="inject a deterministic fault plan (JSON, see 'repro faults') "
         "into every trial's virtual run and rank on resilience",
     )
+    p.add_argument(
+        "--n-envs",
+        type=int,
+        default=1,
+        metavar="N",
+        help="vectorized episodes per rollout worker (1 keeps the "
+        "historical byte-identical single-env path)",
+    )
+    p.add_argument(
+        "--cache",
+        type=str,
+        default=".repro-cache",
+        metavar="DIR",
+        help="content-addressed trial cache directory; identical trials "
+        "are committed from cache instead of re-trained",
+    )
+    p.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="disable the trial cache entirely (neither read nor write)",
+    )
 
 
 def _add_analyze_parser(subparsers) -> None:
@@ -273,6 +294,8 @@ def _cmd_campaign(args) -> int:
         trial_timeout=args.trial_timeout,
         journal=journal,
         fault_plan=fault_plan,
+        n_envs=args.n_envs,
+        cache=None if args.no_cache else args.cache,
     )
 
     def progress(trial, n):
@@ -289,6 +312,9 @@ def _cmd_campaign(args) -> int:
     if args.resume:
         print(f"\nreplayed {report.meta.get('n_replayed', 0)} journaled trials "
               f"without re-evaluation")
+    if report.meta.get("n_cached"):
+        print(f"\ncommitted {report.meta['n_cached']} trial(s) straight from "
+              f"the content-addressed cache")
     print()
     print(report.render(plots=not args.no_plots))
     if args.explorer == "table1":

@@ -20,6 +20,7 @@ from __future__ import annotations
 import hashlib
 import inspect
 import json
+import os
 import time
 from dataclasses import dataclass, field
 from typing import Any, Callable, Mapping, Protocol, runtime_checkable
@@ -29,6 +30,7 @@ from ..exec import (
     Executor,
     RetryPolicy,
     SerialExecutor,
+    TrialCache,
     TrialOutcome,
     TrialTask,
     make_executor,
@@ -38,6 +40,7 @@ from ..obs import (
     EVT_CAMPAIGN_STARTED,
     EVT_EXPLORER_ASK,
     EVT_EXPLORER_TELL,
+    EVT_TRIAL_CACHE_HIT,
     EVT_TRIAL_RETRIED,
     Telemetry,
 )
@@ -123,10 +126,17 @@ SEED_STRATEGIES = ("fixed", "increment")
 
 @dataclass
 class _Replay:
-    """A journaled trial standing in for an evaluation on resume."""
+    """A recorded trial standing in for an evaluation.
+
+    Either a journal replay (this campaign's own trial, on ``--resume``)
+    or a content-addressed cache hit (``from_cache=True``) — cache hits
+    are *new* commits from the journal's point of view and are still
+    recorded to it.
+    """
 
     trial: TrialResult
     checkpoints: list[tuple[int, float]]
+    from_cache: bool = False
 
 
 class Campaign:
@@ -164,6 +174,14 @@ class Campaign:
     :class:`repro.exec.CampaignJournal`: every committed trial is
     durably appended, and a journal opened with ``resume=True`` replays
     recorded trials instead of re-evaluating them.
+
+    ``cache`` (a :class:`repro.exec.TrialCache`, or a directory path for
+    a persistent one) memoizes completed trials by content — config
+    values, seed, space/fault-plan hashes, metric names, the case
+    study's ``cache_key()`` and a source-code version tag. Matching
+    trials commit instantly from the cache (emitting a
+    ``trial_cache_hit`` event) instead of re-training; caching is
+    skipped when the case study does not expose ``cache_key()``.
     """
 
     def __init__(
@@ -183,6 +201,7 @@ class Campaign:
         retry: RetryPolicy | int | None = None,
         trial_timeout: float | None = None,
         journal: CampaignJournal | None = None,
+        cache: TrialCache | str | None = None,
     ) -> None:
         if not isinstance(case_study, CaseStudy):
             raise TypeError("case_study must implement evaluate(config, seed, progress)")
@@ -205,6 +224,9 @@ class Campaign:
         self.retry = RetryPolicy.of(retry)
         self.trial_timeout = trial_timeout
         self.journal = journal
+        if isinstance(cache, (str, os.PathLike)):
+            cache = TrialCache(cache)
+        self.cache = cache
         self._pass_telemetry = _accepts_telemetry(case_study)
 
     def run(self, progress: ProgressCallback | None = None) -> DecisionReport:
@@ -224,13 +246,16 @@ class Campaign:
         )
         if self.journal is not None:
             self.journal.open(self.identity())
+        cache_identity = self._cache_identity()
         n_retried = 0
+        n_cached = 0
         next_seq = 0  # seq of the next ask
         commit_seq = 0  # seq of the next commit (strictly ordered)
         exhausted = False
         tasks: dict[int, TrialTask] = {}
         ready: dict[int, TrialOutcome | _Replay] = {}
         retry_due: dict[int, float] = {}  # seq -> monotonic resubmit time
+        cache_keys: dict[int, str] = {}  # seq -> content address (cache misses)
         try:
             with executor:
                 while True:
@@ -256,6 +281,27 @@ class Campaign:
                             ready[next_seq] = _Replay(*hit)
                             next_seq += 1
                             continue
+                        if cache_identity is not None:
+                            seed = self.trial_seed(config.trial_id)
+                            key = self.cache.key(config, seed, cache_identity)
+                            cached = self.cache.lookup(key, config, seed)
+                            if cached is not None:
+                                trial, checkpoints = cached
+                                n_cached += 1
+                                telem.event(
+                                    EVT_TRIAL_CACHE_HIT,
+                                    trial_id=config.trial_id,
+                                    key=key,
+                                    seed=seed,
+                                )
+                                if telem.enabled:
+                                    telem.meters.counter("cache/hits").inc()
+                                ready[next_seq] = _Replay(
+                                    trial, checkpoints, from_cache=True
+                                )
+                                next_seq += 1
+                                continue
+                            cache_keys[next_seq] = key
                         task = TrialTask(
                             seq=next_seq,
                             config=config,
@@ -309,7 +355,10 @@ class Campaign:
                     while commit_seq in ready:
                         entry = ready.pop(commit_seq)
                         task = tasks.pop(commit_seq, None)
-                        trial = self._commit(entry, task, table, executor)
+                        trial = self._commit(
+                            entry, task, table, executor,
+                            cache_key=cache_keys.pop(commit_seq, None),
+                        )
                         commit_seq += 1
                         if progress is not None:
                             progress(trial, len(table))
@@ -334,6 +383,8 @@ class Campaign:
             meta["n_retried"] = n_retried
         if self.journal is not None:
             meta["n_replayed"] = self.journal.n_replayed
+        if self.cache is not None:
+            meta["n_cached"] = n_cached
         if telem.enabled:
             meta["telemetry"] = telem.meters.snapshot()
         telem.event(EVT_CAMPAIGN_FINISHED, elapsed_s=time.perf_counter() - start, **{
@@ -389,6 +440,26 @@ class Campaign:
             return ""
         return plan.plan_hash()
 
+    def _cache_identity(self) -> dict[str, Any] | None:
+        """Campaign-level ingredients of every trial's cache key.
+
+        ``None`` disables caching for this run — no cache configured, or
+        the case study does not declare its evaluation-relevant settings
+        via ``cache_key()`` (without them two studies with different
+        physics could collide on identical configurations).
+        """
+        if self.cache is None:
+            return None
+        study_key = getattr(self.case_study, "cache_key", None)
+        if not callable(study_key):
+            return None
+        return {
+            "space": self._space_hash(),
+            "fault_plan": self._fault_plan_hash(),
+            "metrics": list(self.metrics.names),
+            "study": study_key(),
+        }
+
     def _make_executor(self) -> Executor:
         if self.executor is None:
             return SerialExecutor()
@@ -402,6 +473,7 @@ class Campaign:
         task: TrialTask | None,
         table: ResultsTable,
         executor: Executor,
+        cache_key: str | None = None,
     ) -> TrialResult:
         """Fold one finished trial into table/explorer/pruner/journal."""
         telem = self.telemetry
@@ -409,6 +481,11 @@ class Campaign:
             trial = entry.trial
             table.add(trial)
             self.pruner.absorb(trial.trial_id, entry.checkpoints)
+            if entry.from_cache and self.journal is not None:
+                # a cache hit is a fresh commit of *this* campaign — the
+                # journal must list it like any evaluated trial so a later
+                # --resume replays the identical table
+                self.journal.record(trial, entry.checkpoints)
             if trial.ok:
                 self.explorer.tell(trial.config, trial.objectives)
                 telem.event(
@@ -442,6 +519,8 @@ class Campaign:
         table.add(trial)
         if self.journal is not None:
             self.journal.record(trial, outcome.checkpoints)
+        if cache_key is not None and self.cache is not None:
+            self.cache.store(cache_key, trial, outcome.checkpoints)
         if trial.ok:
             self.explorer.tell(config, trial.objectives)
             telem.event(

@@ -1,7 +1,7 @@
 """Gym-style environment substrate (spaces, Env API, registry, vector envs)."""
 
 from .env import ActionWrapper, Env, ObservationWrapper, RewardWrapper, Wrapper
-from .registry import EnvSpec, make, register, registry, spec
+from .registry import EnvSpec, make, make_vec, register, registry, spec
 from .spaces import Box, Dict, Discrete, MultiDiscrete, Space, Tuple, flatdim, flatten, unflatten
 from .vector import EpisodeStats, SyncVectorEnv
 from .wrappers import (
@@ -32,6 +32,7 @@ __all__ = [
     "unflatten",
     "register",
     "make",
+    "make_vec",
     "spec",
     "registry",
     "EnvSpec",

@@ -16,7 +16,7 @@ from typing import Any, Callable
 from .env import Env
 from .wrappers import OrderEnforcing, TimeLimit
 
-__all__ = ["EnvSpec", "register", "make", "registry", "spec"]
+__all__ = ["EnvSpec", "register", "make", "make_vec", "registry", "spec"]
 
 _ID_RE = re.compile(r"^(?P<name>[\w:.-]+?)(-v(?P<version>\d+))?$")
 
@@ -30,6 +30,9 @@ class EnvSpec:
     kwargs: dict[str, Any] = field(default_factory=dict)
     max_episode_steps: int | None = None
     reward_threshold: float | None = None
+    #: optional natively-batched constructor; when absent ``make_vec``
+    #: falls back to a ``SyncVectorEnv`` over ``make()`` factories
+    vector_entry_point: Callable[..., Any] | str | None = None
 
     @property
     def name(self) -> str:
@@ -63,6 +66,35 @@ class EnvSpec:
             env = TimeLimit(env, max_episode_steps=int(max_steps))
         return env
 
+    def resolve_vector_entry_point(self) -> Callable[..., Any]:
+        """Import-and-return the batched constructor (``'module:attr'`` ok)."""
+        if self.vector_entry_point is None:
+            raise ValueError(f"environment {self.id!r} has no vector entry point")
+        if callable(self.vector_entry_point):
+            return self.vector_entry_point
+        module_name, _, attr = self.vector_entry_point.partition(":")
+        module = importlib.import_module(module_name)
+        return getattr(module, attr)
+
+    def make_vec(self, num_envs: int, **kwargs: Any) -> Any:
+        """Build a vectorized environment stepping ``num_envs`` episodes.
+
+        Uses the registered native batched constructor when one exists
+        (e.g. :class:`~repro.airdrop.batch.AirdropVectorEnv`); otherwise
+        wraps ``num_envs`` independent :meth:`make` instances in a
+        :class:`~repro.envs.SyncVectorEnv`. Both observe the same
+        step/reset/auto-reset contract.
+        """
+        if self.vector_entry_point is not None:
+            merged = {**self.kwargs, **kwargs}
+            max_steps = merged.pop("max_episode_steps", self.max_episode_steps)
+            return self.resolve_vector_entry_point()(
+                num_envs=num_envs, max_episode_steps=max_steps, **merged
+            )
+        from .vector import SyncVectorEnv
+
+        return SyncVectorEnv([lambda: self.make(**kwargs) for _ in range(num_envs)])
+
 
 class EnvRegistry:
     """A mapping of env id -> :class:`EnvSpec` with helpful error messages."""
@@ -78,6 +110,7 @@ class EnvRegistry:
         kwargs: dict[str, Any] | None = None,
         max_episode_steps: int | None = None,
         reward_threshold: float | None = None,
+        vector_entry_point: Callable[..., Any] | str | None = None,
         force: bool = False,
     ) -> EnvSpec:
         if not _ID_RE.match(id):
@@ -90,6 +123,7 @@ class EnvRegistry:
             kwargs=dict(kwargs or {}),
             max_episode_steps=max_episode_steps,
             reward_threshold=reward_threshold,
+            vector_entry_point=vector_entry_point,
         )
         self._specs[id] = env_spec
         return env_spec
@@ -104,6 +138,9 @@ class EnvRegistry:
 
     def make(self, id: str, **kwargs: Any) -> Env:
         return self.spec(id).make(**kwargs)
+
+    def make_vec(self, id: str, num_envs: int, **kwargs: Any) -> Any:
+        return self.spec(id).make_vec(num_envs, **kwargs)
 
     def __contains__(self, id: str) -> bool:
         return id in self._specs
@@ -130,6 +167,11 @@ def register(id: str, entry_point: Callable[..., Env] | str, **kwargs: Any) -> E
 def make(id: str, **kwargs: Any) -> Env:
     """Instantiate a registered environment (the paper's ``gym.make``)."""
     return registry.make(id, **kwargs)
+
+
+def make_vec(id: str, num_envs: int, **kwargs: Any) -> Any:
+    """Instantiate a vectorized environment stepping ``num_envs`` episodes."""
+    return registry.make_vec(id, num_envs, **kwargs)
 
 
 def spec(id: str) -> EnvSpec:

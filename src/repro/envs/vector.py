@@ -68,12 +68,25 @@ class SyncVectorEnv:
         self._autoreset = np.zeros(self.num_envs, dtype=bool)
 
     # ------------------------------------------------------------------ API
-    def reset(self, *, seed: int | None = None) -> tuple[np.ndarray, list[dict]]:
-        """Reset every sub-env. A scalar seed is fanned out per sub-env."""
+    def reset(
+        self, *, seed: int | Sequence[int | None] | None = None
+    ) -> tuple[np.ndarray, list[dict]]:
+        """Reset every sub-env.
+
+        A scalar seed is fanned out as ``seed + index``; a sequence gives
+        each sub-env its own seed (``None`` entries keep the env's RNG).
+        """
+        if seed is None or isinstance(seed, (int, np.integer)):
+            seeds: list[int | None] = [
+                None if seed is None else int(seed) + i for i in range(self.num_envs)
+            ]
+        else:
+            seeds = [None if s is None else int(s) for s in seed]
+            if len(seeds) != self.num_envs:
+                raise ValueError(f"got {len(seeds)} seeds for {self.num_envs} sub-envs")
         observations, infos = [], []
         for index, env in enumerate(self.envs):
-            sub_seed = None if seed is None else seed + index
-            obs, info = env.reset(seed=sub_seed)
+            obs, info = env.reset(seed=seeds[index])
             observations.append(np.asarray(obs, dtype=np.float64))
             infos.append(info)
         self._episode_returns[:] = 0.0

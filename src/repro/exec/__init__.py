@@ -23,6 +23,7 @@ worker finishes first — so, for ask-order-deterministic explorers, the
 serial, thread and process backends produce identical results tables.
 """
 
+from .cache import CODE_HASH_PACKAGES, TrialCache, code_version_tag
 from .executors import (
     EXECUTORS,
     Executor,
@@ -50,4 +51,7 @@ __all__ = [
     "JournalMismatch",
     "RetryPolicy",
     "NO_RETRY",
+    "TrialCache",
+    "code_version_tag",
+    "CODE_HASH_PACKAGES",
 ]

@@ -1,0 +1,208 @@
+"""Content-addressed trial cache: never evaluate the same trial twice.
+
+A campaign's trial is a pure function of (configuration values, seed,
+parameter-space shape, fault plan, case-study settings, and the source
+code of the simulation/learning stack). :class:`TrialCache` memoizes
+committed :class:`~repro.core.results.TrialResult`s under a digest of
+exactly those ingredients, so repeated campaigns — reruns, overlapping
+sweeps, ``--resume`` after a deleted journal — commit cache hits instead
+of re-training.
+
+Unlike the :class:`~repro.exec.CampaignJournal` (which replays *this
+campaign's* trials by trial id), the cache is keyed purely by content:
+any campaign whose key matches may reuse the entry, across processes and
+across runs, via the shared on-disk store.
+
+The **code-version tag** guards against the classic memoization trap:
+an edited reward function (or integrator, or agent) silently serving
+stale results. :func:`code_version_tag` hashes the source bytes of every
+module the trial outcome depends on (``repro.rl``, ``repro.airdrop``,
+``repro.envs``, ``repro.frameworks``, ``repro.cluster``,
+``repro.faults``); any source edit changes the tag and therefore every
+key, invalidating the whole cache at once.
+
+Only ``COMPLETED`` trials are stored: failures, timeouts and pruned
+trials may be transient (retry policies exist precisely because of
+them) and must re-run.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from pathlib import Path
+from typing import Any
+
+__all__ = ["TrialCache", "code_version_tag", "CODE_HASH_PACKAGES"]
+
+#: sub-packages whose source participates in the code-version tag —
+#: everything a trial's measurements can depend on
+CODE_HASH_PACKAGES = (
+    "airdrop",
+    "cluster",
+    "envs",
+    "faults",
+    "frameworks",
+    "rl",
+)
+
+_default_tag: str | None = None
+
+
+def code_version_tag(roots: list[str | os.PathLike] | None = None) -> str:
+    """Digest of the trial-relevant source tree (12 hex chars).
+
+    ``roots`` overrides the hashed directories (used by tests to prove an
+    edited reward function invalidates cache entries); the default covers
+    :data:`CODE_HASH_PACKAGES` under the installed ``repro`` package and
+    is computed once per process.
+    """
+    global _default_tag
+    default = roots is None
+    if default and _default_tag is not None:
+        return _default_tag
+    if roots is None:
+        package_root = Path(__file__).resolve().parent.parent
+        roots = [package_root / name for name in CODE_HASH_PACKAGES]
+    digest = hashlib.sha1()
+    for root in sorted(Path(r) for r in roots):
+        for path in sorted(root.rglob("*.py")):
+            rel = path.relative_to(root.parent)
+            digest.update(str(rel).encode("utf-8"))
+            digest.update(b"\0")
+            digest.update(hashlib.sha1(path.read_bytes()).hexdigest().encode("ascii"))
+            digest.update(b"\n")
+    tag = digest.hexdigest()[:12]
+    if default:
+        _default_tag = tag
+    return tag
+
+
+class TrialCache:
+    """Memoized trial results, in memory and optionally on disk.
+
+    Parameters
+    ----------
+    path:
+        Directory for the persistent store (one JSON file per key,
+        written atomically). ``None`` keeps the cache process-local.
+    code_tag:
+        Override for :func:`code_version_tag` (tests only).
+    """
+
+    def __init__(
+        self, path: str | os.PathLike | None = None, code_tag: str | None = None
+    ) -> None:
+        self.path = None if path is None else os.fspath(path)
+        self.code_tag = code_tag if code_tag is not None else code_version_tag()
+        self._memory: dict[str, dict[str, Any]] = {}
+        self.hits = 0
+        self.misses = 0
+        if self.path is not None:
+            os.makedirs(self.path, exist_ok=True)
+
+    # ----------------------------------------------------------------- keys
+    def key(self, config: Any, seed: int, identity: dict[str, Any]) -> str:
+        """The content address of one trial (32 hex chars).
+
+        ``identity`` carries the campaign-level ingredients (space hash,
+        fault-plan hash, metric names, case-study key); the configuration
+        values, seed and code tag are folded in here. ``trial_id`` is
+        deliberately **not** part of the key — the same configuration
+        proposed at a different position in a different campaign is the
+        same work.
+        """
+        payload = {
+            "config": {k: repr(v) for k, v in sorted(config.as_dict().items())},
+            "seed": int(seed),
+            "code": self.code_tag,
+            **{k: identity[k] for k in sorted(identity)},
+        }
+        blob = json.dumps(payload, sort_keys=True).encode("utf-8")
+        return hashlib.sha256(blob).hexdigest()[:32]
+
+    # --------------------------------------------------------------- lookup
+    def lookup(
+        self, key: str, config: Any, seed: int
+    ) -> tuple[Any, list[tuple[int, float]]] | None:
+        """The cached (TrialResult, checkpoints) under ``key``, if any.
+
+        The stored configuration values and seed are re-validated against
+        the requesting trial (a digest collision must never replay a
+        different configuration), and the returned result carries the
+        *current* :class:`Configuration` so its ``trial_id`` matches this
+        campaign's numbering.
+        """
+        from dataclasses import replace
+
+        from ..core.serialization import trial_from_dict  # local: avoid cycle
+
+        entry = self._memory.get(key)
+        if entry is None and self.path is not None:
+            entry = self._read_disk(key)
+            if entry is not None:
+                self._memory[key] = entry
+        if entry is None:
+            self.misses += 1
+            return None
+        trial = trial_from_dict(entry["trial"])
+        if trial.config.key() != config.key() or int(entry["seed"]) != int(seed):
+            self.misses += 1
+            return None
+        self.hits += 1
+        checkpoints = [(int(s), float(v)) for s, v in entry.get("checkpoints", [])]
+        return replace(trial, config=config), checkpoints
+
+    # ---------------------------------------------------------------- store
+    def store(
+        self,
+        key: str,
+        trial: Any,
+        checkpoints: list[tuple[int, float]] | None = None,
+        seed: int | None = None,
+    ) -> bool:
+        """Record one committed trial; only completed trials are cacheable."""
+        from ..core.results import TrialStatus
+        from ..core.serialization import trial_to_dict  # local: avoid cycle
+
+        if trial.status is not TrialStatus.COMPLETED:
+            return False
+        entry = {
+            "format_version": 1,
+            "key": key,
+            "code": self.code_tag,
+            "seed": int(trial.seed if seed is None else seed),
+            "trial": trial_to_dict(trial),
+            "checkpoints": [[int(s), float(v)] for s, v in (checkpoints or [])],
+        }
+        self._memory[key] = entry
+        if self.path is not None:
+            target = os.path.join(self.path, f"{key}.json")
+            tmp = f"{target}.tmp.{os.getpid()}"
+            with open(tmp, "w", encoding="utf-8") as handle:
+                json.dump(entry, handle)
+                handle.flush()
+                os.fsync(handle.fileno())
+            os.replace(tmp, target)
+        return True
+
+    # ------------------------------------------------------------ internals
+    def _read_disk(self, key: str) -> dict[str, Any] | None:
+        target = os.path.join(self.path, f"{key}.json")  # type: ignore[arg-type]
+        try:
+            with open(target, encoding="utf-8") as handle:
+                entry = json.load(handle)
+        except (OSError, json.JSONDecodeError):
+            return None
+        if entry.get("key") != key or entry.get("code") != self.code_tag:
+            return None
+        return entry
+
+    def __len__(self) -> int:
+        """Entries reachable without touching the disk store."""
+        return len(self._memory)
+
+    def __repr__(self) -> str:
+        where = self.path or "memory"
+        return f"TrialCache({where!r}, code={self.code_tag}, hits={self.hits})"

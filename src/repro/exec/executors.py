@@ -33,7 +33,6 @@ from __future__ import annotations
 import multiprocessing
 import multiprocessing.connection
 import queue
-import threading
 import time
 from concurrent.futures import FIRST_COMPLETED, Future, ThreadPoolExecutor, wait
 from typing import Any

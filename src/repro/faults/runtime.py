@@ -15,13 +15,13 @@ the frameworks fold into resilience metrics.
 from __future__ import annotations
 
 import hashlib
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import TYPE_CHECKING, Any
 
 from .plan import FaultPlan
 
 if TYPE_CHECKING:  # pragma: no cover
-    from ..cluster.topology import ClusterSpec, LinkSpec
+    from ..cluster.topology import LinkSpec
 
 __all__ = ["FaultSchedule", "FaultStats"]
 

@@ -36,7 +36,7 @@ from ..cluster import (
     energy_from_trace,
     paper_testbed,
 )
-from ..envs import Env, make
+from ..envs import Env, make, make_vec
 from ..faults import (
     ClusterFaultError,
     FailFastRecovery,
@@ -86,6 +86,12 @@ class TrainSpec:
     #: when the worker count changes)
     train_batch_size: int = 1024
     eval_episodes: int = 30
+    #: episodes stepped per env call by each rollout worker (1 = the
+    #: historical single-env path, byte-identical to older versions)
+    n_envs: int = 1
+    #: force the vectorized collection path on/off; ``None`` (default)
+    #: vectorizes exactly when ``n_envs > 1``
+    vectorize: bool | None = None
     ppo: PPOConfig = field(default_factory=PPOConfig)
     sac: SACConfig = field(default_factory=SACConfig)
 
@@ -98,6 +104,13 @@ class TrainSpec:
             raise ValueError("step budgets must be positive")
         if self.train_batch_size < 1:
             raise ValueError("train_batch_size must be positive")
+        if self.n_envs < 1:
+            raise ValueError("n_envs must be >= 1")
+
+    @property
+    def vector_rollouts(self) -> bool:
+        """Whether rollout collection goes through the vectorized path."""
+        return self.vectorize if self.vectorize is not None else self.n_envs > 1
 
     @property
     def rk_order(self) -> int:
@@ -167,14 +180,14 @@ class WorkerLayout:
         return out
 
 
-def _action_mapper(env: Env):
-    """Map the policy's ``[-1, 1]`` outputs onto the env's Box bounds.
+def _space_action_mapper(space: Any):
+    """Map the policy's ``[-1, 1]`` outputs onto a Box space's bounds.
 
     The agents always emit unit-scaled actions; environments may use other
     ranges (e.g. the pendulum's ±2 N·m torque). Unbounded dimensions pass
-    through unchanged.
+    through unchanged. Elementwise, so applying it to a batch of actions
+    equals applying it row by row.
     """
-    space = env.action_space
     low = np.asarray(getattr(space, "low", -1.0), dtype=np.float64)
     high = np.asarray(getattr(space, "high", 1.0), dtype=np.float64)
     bounded = np.isfinite(low) & np.isfinite(high)
@@ -187,6 +200,22 @@ def _action_mapper(env: Env):
         return np.where(bounded, scaled, unit)
 
     return mapper
+
+
+def _action_mapper(env: Env):
+    """:func:`_space_action_mapper` for an env's own action space."""
+    return _space_action_mapper(env.action_space)
+
+
+def _vec_rhs_evals(venv: Any) -> int:
+    """Per-step RHS-evaluation cost of a vectorized env (fallback 6)."""
+    n = getattr(venv, "rhs_evals_per_step", None)
+    if n is not None:
+        return int(n)
+    envs = getattr(venv, "envs", None)
+    if envs:
+        return int(getattr(envs[0].unwrapped, "rhs_evals_per_step", 6))
+    return 6
 
 
 class _Worker:
@@ -353,7 +382,11 @@ class Framework:
         self.validate(spec)
         telemetry = Telemetry.or_null(telemetry)
         if spec.algorithm == "ppo":
+            if spec.vector_rollouts:
+                return self._train_ppo_vec(spec, callback, telemetry)
             return self._train_ppo(spec, callback, telemetry)
+        if spec.vector_rollouts:
+            return self._train_sac_vec(spec, callback, telemetry)
         return self._train_sac(spec, callback, telemetry)
 
     # ---------------------------------------------------------------- PPO
@@ -484,6 +517,146 @@ class Framework:
             env_step_s=env_step_s,
         )
 
+    def _train_ppo_vec(
+        self,
+        spec: TrainSpec,
+        callback: Callable[[int, float], bool] | None = None,
+        telemetry: Telemetry | None = None,
+    ) -> TrainResult:
+        """PPO with vectorized rollout collection.
+
+        Each of the layout's workers steps ``spec.n_envs`` episodes per
+        env call through one batched vector env covering all worker slots
+        (slot ``w * n_envs + j`` is worker ``w``'s ``j``-th episode). The
+        loop mirrors :meth:`_train_ppo` operation for operation — same
+        group-batched act calls, same policy-staleness window, same
+        boot-value and landing bookkeeping order — so at ``n_envs=1`` it
+        reproduces the single-env path bit for bit.
+        """
+        telem = Telemetry.or_null(telemetry)
+        meters = telem.trial_meters
+        layout = self.layout(spec)
+        groups = layout.groups()
+        n_workers = layout.n_workers
+        n_envs = spec.n_envs
+        total = n_workers * n_envs
+        venv = make_vec(spec.env_id, total, **spec.env_kwargs)
+        seeds = [
+            self._seed(spec, f"env{w}" if j == 0 else f"env{w}.{j}")
+            for w in range(n_workers)
+            for j in range(n_envs)
+        ]
+        obs_batch, _ = venv.reset(seed=seeds)
+        obs_dim = int(np.prod(venv.single_observation_space.shape))
+        act_dim = int(np.prod(venv.single_action_space.shape))
+        n_stages = _vec_rhs_evals(venv)
+        map_action = _space_action_mapper(venv.single_action_space)
+        env_groups = {
+            node: [w * n_envs + j for w in members for j in range(n_envs)]
+            for node, members in groups.items()
+        }
+
+        ppo_config = self.effective_ppo(spec)
+        agent = PPOAgent(obs_dim, act_dim, ppo_config, seed=self._seed(spec, "agent"))
+        fragment = max(32, self.effective_batch(spec) // total)
+        buffer = agent.make_buffer(fragment, total)
+
+        env_step_s = self.cost_model.env_step_s(n_stages, 1, self.profile)
+        landings: list[float] = []
+        curve: list[tuple[int, float]] = []
+
+        fresh_state = agent.policy_state()
+        stale_state = agent.policy_state()
+
+        steps_done = 0
+        iteration = 0
+        while steps_done < spec.total_steps:
+            with telem.span("rollout", iteration=iteration) as rollout_span:
+                buffer.reset()
+                current_state = agent.policy_state()
+                for t in range(fragment):
+                    actions = np.zeros((total, act_dim))
+                    log_probs = np.zeros(total)
+                    values = np.zeros(total)
+                    for node, members in env_groups.items():
+                        use_stale = (
+                            layout.stale_remote_policy and node != layout.learner_node
+                        )
+                        agent.load_policy_state(stale_state if use_stale else current_state)
+                        out = agent.act(obs_batch[members])
+                        actions[members] = out["action"]
+                        log_probs[members] = out["log_prob"]
+                        values[members] = out["value"]
+                    try:
+                        next_obs, rewards, terms, truncs, infos = venv.step(
+                            map_action(actions)
+                        )
+                    except Exception as exc:
+                        raise EnvStepError(steps_done + t * total, exc) from exc
+                    boots = np.zeros(total)
+                    for i in np.flatnonzero(terms | truncs):
+                        info = infos[i]
+                        landings.append(
+                            float(info.get("landing_score", info["episode"]["r"]))
+                        )
+                        if truncs[i] and not terms[i]:
+                            boots[i] = agent.value(info["final_observation"][None])[0]
+                    buffer.add(
+                        obs_batch, actions, log_probs, rewards, values, terms, truncs, boots
+                    )
+                    obs_batch = next_obs
+                last_values = np.zeros(total)
+                for node, members in env_groups.items():
+                    use_stale = layout.stale_remote_policy and node != layout.learner_node
+                    agent.load_policy_state(stale_state if use_stale else current_state)
+                    last_values[members] = agent.value(obs_batch[members])
+                buffer.finish(last_values)
+
+            with telem.span("weight_sync", iteration=iteration):
+                agent.load_policy_state(current_state)
+                stale_state = fresh_state
+                fresh_state = current_state
+
+            with telem.span("update", iteration=iteration) as update_span:
+                agent.update(buffer)
+            steps_done += fragment * total
+            if telem.enabled:
+                meters.histogram("ppo/rollout_s").observe(rollout_span.duration)
+                meters.histogram("ppo/update_s").observe(update_span.duration)
+                meters.counter("env_steps").inc(fragment * total)
+                meters.counter("updates").inc()
+
+            iteration += 1
+            if landings:
+                checkpoint = float(np.mean(landings[-40:]))
+                curve.append((steps_done, checkpoint))
+                if callback is not None and callback(steps_done, checkpoint):
+                    break
+
+        program = self._ppo_program(
+            spec,
+            layout,
+            groups,
+            fragment,
+            env_step_s,
+            ppo_config,
+            iteration,
+            envs_per_worker=n_envs,
+        )
+        trace, fault_report = self._run_virtual(spec, layout, program)
+        return self._finalize(
+            spec,
+            agent,
+            trace,
+            landings,
+            curve,
+            steps_done,
+            layout,
+            telem,
+            fault_report=fault_report,
+            env_step_s=env_step_s,
+        )
+
     def _ppo_program(
         self,
         spec: TrainSpec,
@@ -493,6 +666,7 @@ class Framework:
         env_step_s: float,
         ppo_config: PPOConfig,
         n_iterations: int,
+        envs_per_worker: int = 1,
     ) -> Callable[[ClusterSimulator], None]:
         """The PPO run's virtual DAG as a replayable builder.
 
@@ -518,7 +692,7 @@ class Framework:
                             sim.task(
                                 f"rollout[{iteration}]w{i}",
                                 node,
-                                duration=fragment * env_step_s
+                                duration=fragment * envs_per_worker * env_step_s
                                 / self.cluster.nodes[node].core_speed,
                                 cores=1,
                                 deps=deps,
@@ -533,6 +707,7 @@ class Framework:
                                 learner,
                                 n_bytes=len(members)
                                 * fragment
+                                * envs_per_worker
                                 * self.cost_model.transition_bytes,
                                 deps=node_tasks,
                             )
@@ -540,7 +715,7 @@ class Framework:
                 update_deps = [t for t in actor_tasks if t.node == learner] + transfer_tasks
                 if not update_deps:
                     update_deps = actor_tasks
-                batch = fragment * n_workers
+                batch = fragment * n_workers * envs_per_worker
                 update_task = sim.task(
                     f"ppo_update[{iteration}]",
                     learner,
@@ -581,7 +756,6 @@ class Framework:
         meters = telem.trial_meters
         layout = self.layout(spec)
         sampler_node = max(layout.groups())  # sampling lives on the last node
-        learner = layout.learner_node
 
         env = make(spec.env_id, **spec.env_kwargs)
         obs_dim = int(np.prod(env.observation_space.shape))
@@ -679,6 +853,130 @@ class Framework:
             env_step_s=env_step_s,
         )
 
+    def _train_sac_vec(
+        self,
+        spec: TrainSpec,
+        callback: Callable[[int, float], bool] | None = None,
+        telemetry: Telemetry | None = None,
+    ) -> TrainResult:
+        """SAC with vectorized env stepping.
+
+        One batched env advances ``spec.n_envs`` episodes per call; the
+        transitions of a batch are then fed to the agent row by row in env
+        order, preserving the serial observe → update interleaving. Rows
+        stepped past ``total_steps`` within the final batch are discarded,
+        so the consumed step budget matches the serial loop exactly. At
+        ``n_envs=1`` the loop reproduces :meth:`_train_sac` bit for bit.
+        """
+        telem = Telemetry.or_null(telemetry)
+        meters = telem.trial_meters
+        layout = self.layout(spec)
+        sampler_node = max(layout.groups())
+
+        n_envs = spec.n_envs
+        venv = make_vec(spec.env_id, n_envs, **spec.env_kwargs)
+        obs_dim = int(np.prod(venv.single_observation_space.shape))
+        act_dim = int(np.prod(venv.single_action_space.shape))
+        n_stages = _vec_rhs_evals(venv)
+        agent = SACAgent(obs_dim, act_dim, spec.sac, seed=self._seed(spec, "agent"))
+
+        env_step_s = self.cost_model.env_step_s(n_stages, 1, self.profile)
+        landings: list[float] = []
+        curve: list[tuple[int, float]] = []
+
+        seeds = [
+            self._seed(spec, "env" if j == 0 else f"env.{j}") for j in range(n_envs)
+        ]
+        obs, _ = venv.reset(seed=seeds)
+        map_action = _space_action_mapper(venv.single_action_space)
+        block = 100
+        blocks: list[tuple[int, int]] = []
+        steps_done = 0
+        block_updates = 0
+        block_start = 0
+        iteration = 0
+        telem_on = telem.enabled
+        clock = time.perf_counter
+        block_t0 = clock()
+        update_acc = 0.0
+        stop = False
+        while steps_done < spec.total_steps and not stop:
+            out = agent.act(obs)
+            actions = np.clip(out["action"], -1.0, 1.0)
+            try:
+                next_obs, rewards, terms, truncs, infos = venv.step(map_action(actions))
+            except Exception as exc:
+                raise EnvStepError(steps_done, exc) from exc
+            for i in range(n_envs):
+                info = infos[i]
+                done = bool(terms[i]) or bool(truncs[i])
+                terminal_obs = info["final_observation"] if done else next_obs[i]
+                agent.observe(
+                    obs[i], actions[i], float(rewards[i]), terminal_obs, bool(terms[i])
+                )
+                if done:
+                    landings.append(
+                        float(info.get("landing_score", info["episode"]["r"]))
+                    )
+                steps_done += 1
+                if agent.ready_to_update():
+                    if telem_on:
+                        update_t0 = clock()
+                        agent.update()
+                        update_acc += clock() - update_t0
+                    else:
+                        agent.update()
+                    block_updates += spec.sac.updates_per_step
+
+                if steps_done - block_start >= block or steps_done >= spec.total_steps:
+                    n_steps = steps_done - block_start
+                    blocks.append((n_steps, block_updates))
+                    if telem_on:
+                        now = clock()
+                        rollout_span = telem.tracer.record(
+                            "rollout", block_t0, now, iteration=iteration, steps=n_steps
+                        )
+                        if update_acc > 0.0:
+                            telem.tracer.record(
+                                "update",
+                                now - update_acc,
+                                now,
+                                parent_id=rollout_span.span_id,
+                                iteration=iteration,
+                            )
+                            meters.histogram("sac/update_s").observe(update_acc)
+                        meters.histogram("sac/block_s").observe(now - block_t0)
+                        meters.counter("env_steps").inc(n_steps)
+                        meters.counter("updates").inc(block_updates)
+                        block_t0 = now
+                        update_acc = 0.0
+                    block_updates = 0
+                    block_start = steps_done
+                    iteration += 1
+                    if landings:
+                        checkpoint = float(np.mean(landings[-40:]))
+                        curve.append((steps_done, checkpoint))
+                        if callback is not None and callback(steps_done, checkpoint):
+                            stop = True
+                if steps_done >= spec.total_steps or stop:
+                    break
+            obs = next_obs
+
+        program = self._sac_program(spec, layout, sampler_node, env_step_s, blocks)
+        trace, fault_report = self._run_virtual(spec, layout, program)
+        return self._finalize(
+            spec,
+            agent,
+            trace,
+            landings,
+            curve,
+            steps_done,
+            layout,
+            telem,
+            fault_report=fault_report,
+            env_step_s=env_step_s,
+        )
+
     def _sac_program(
         self,
         spec: TrainSpec,
@@ -754,7 +1052,10 @@ class Framework:
             meters.gauge("virtual_makespan_s").set(trace.makespan)
             meters.gauge("bytes_transferred").set(trace.bytes_transferred())
         with telem.span("evaluate", episodes=spec.eval_episodes):
-            eval_reward = self._evaluate(spec, agent)
+            if spec.vector_rollouts:
+                eval_reward = self._evaluate_vec(spec, agent)
+            else:
+                eval_reward = self._evaluate(spec, agent)
         scale = spec.paper_steps / max(steps_done, 1)
         nodes_used = sorted(
             set(layout.worker_nodes) | {layout.learner_node} | {t.node for t in trace.tasks}
@@ -835,3 +1136,38 @@ class Framework:
                 score = info.get("landing_score", score)
             scores.append(score if score is not None else episode_return)
         return float(np.mean(scores))
+
+    def _evaluate_vec(self, spec: TrainSpec, agent: PPOAgent | SACAgent) -> float:
+        """Batched deterministic evaluation, bit-equal to :meth:`_evaluate`.
+
+        All ``eval_episodes`` episodes run as one vector env (episode
+        ``e`` seeded ``1_000_000 + e`` exactly as the serial loop seeds
+        its resets). Actions are computed per env with the serial
+        ``(1, obs_dim)`` act shape — deterministic acting draws no
+        randomness, so per-row calls are order-free and the policy
+        forward pass hits the same gemv kernel as the serial path — while
+        the expensive physics step is batched across the episodes still
+        running.
+        """
+        venv = make_vec(spec.env_id, spec.eval_episodes, **spec.env_kwargs)
+        map_action = _space_action_mapper(venv.single_action_space)
+        act_dim = int(np.prod(venv.single_action_space.shape))
+        n = spec.eval_episodes
+        obs, _ = venv.reset(seed=[1_000_000 + episode for episode in range(n)])
+        finished = np.zeros(n, dtype=bool)
+        scores: list[float | None] = [None] * n
+        returns = [0.0] * n
+        actions = np.zeros((n, act_dim))
+        while not finished.all():
+            for i in np.flatnonzero(~finished):
+                actions[i] = agent.act(obs[i][None], deterministic=True)["action"][0]
+            obs, rewards, terms, truncs, infos = venv.step(map_action(actions))
+            for i in np.flatnonzero(~finished):
+                returns[i] += float(rewards[i])
+                if "landing_score" in infos[i]:
+                    scores[i] = infos[i]["landing_score"]
+                if terms[i] or truncs[i]:
+                    finished[i] = True
+        return float(
+            np.mean([s if s is not None else returns[i] for i, s in enumerate(scores)])
+        )

@@ -17,6 +17,7 @@ from .events import (
     EVT_TRIAL_FAILED,
     EVT_TRIAL_FINISHED,
     EVT_TRIAL_PRUNED,
+    EVT_TRIAL_CACHE_HIT,
     EVT_TRIAL_RETRIED,
     EVT_TRIAL_STARTED,
     NULL_SINK,
@@ -54,6 +55,7 @@ __all__ = [
     "EVT_TRIAL_FAILED",
     "EVT_TRIAL_PRUNED",
     "EVT_TRIAL_RETRIED",
+    "EVT_TRIAL_CACHE_HIT",
     "EVT_EXPLORER_ASK",
     "EVT_EXPLORER_TELL",
     "EVT_CHECKPOINT",

@@ -37,6 +37,7 @@ __all__ = [
     "EVT_TRIAL_FAILED",
     "EVT_TRIAL_PRUNED",
     "EVT_TRIAL_RETRIED",
+    "EVT_TRIAL_CACHE_HIT",
     "EVT_EXPLORER_ASK",
     "EVT_EXPLORER_TELL",
     "EVT_CHECKPOINT",
@@ -56,6 +57,7 @@ EVT_TRIAL_FINISHED = "trial_finished"
 EVT_TRIAL_FAILED = "trial_failed"
 EVT_TRIAL_PRUNED = "trial_pruned"
 EVT_TRIAL_RETRIED = "trial_retried"
+EVT_TRIAL_CACHE_HIT = "trial_cache_hit"
 EVT_EXPLORER_ASK = "explorer_ask"
 EVT_EXPLORER_TELL = "explorer_tell"
 EVT_CHECKPOINT = "checkpoint_reported"

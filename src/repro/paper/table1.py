@@ -152,6 +152,9 @@ class AirdropCaseStudy:
     #: deterministic fault plan injected into every trial's virtual run
     #: (None or an empty plan leaves the fault-free path untouched)
     fault_plan: FaultPlan | None = None
+    #: episodes stepped per env call by each rollout worker (1 keeps the
+    #: historical byte-identical single-env path)
+    n_envs: int = 1
 
     def __post_init__(self) -> None:
         self.results: dict[int, TrainResult] = {}
@@ -165,7 +168,30 @@ class AirdropCaseStudy:
             env_kwargs={"rk_order": int(config["rk_order"]), **self.env_kwargs},
             total_steps=self.scale.real_steps,
             paper_steps=self.scale.paper_steps,
+            n_envs=self.n_envs,
         )
+
+    def cache_key(self) -> dict[str, Any]:
+        """Every evaluation-relevant setting not captured by the config.
+
+        Campaigns fold this into the content address of each trial
+        (:class:`~repro.exec.TrialCache`), so two studies differing in
+        scale, env parameters or cluster shape never share entries.
+        ``n_envs`` participates because the vectorized path is
+        bit-identical only at ``n_envs=1`` — results at different widths
+        are distinct measurements.
+        """
+        return {
+            "case_study": type(self).__name__,
+            "real_steps": self.scale.real_steps,
+            "paper_steps": self.scale.paper_steps,
+            "env_kwargs": {k: repr(v) for k, v in sorted(self.env_kwargs.items())},
+            "convergence_threshold": self.convergence_threshold,
+            "n_envs": self.n_envs,
+            "cluster": [
+                [node.n_cores, node.core_speed] for node in self.cluster.nodes
+            ],
+        }
 
     def evaluate(
         self,
@@ -245,6 +271,7 @@ def table1_campaign(
     seed_strategy: str = "fixed",
     telemetry: Telemetry | None = None,
     fault_plan: FaultPlan | None = None,
+    n_envs: int = 1,
     **campaign_kwargs: Any,
 ) -> Campaign:
     """The full §V campaign: airdrop case study × 18 configs × 3 metrics.
@@ -266,6 +293,7 @@ def table1_campaign(
         scale=scale or DEFAULT_SCALE,
         env_kwargs=dict(env_kwargs or {}),
         fault_plan=fault_plan,
+        n_envs=n_envs,
     )
     resilience = fault_plan is not None
     return Campaign(

@@ -142,7 +142,6 @@ class TanhGaussian:
         -------
         (dL_dmean, dL_dlog_std), both ``(batch, act_dim)``.
         """
-        z = sample["pre_tanh"]
         eps = sample["eps"]
         action = sample["action"]
         one_minus_a2 = 1.0 - action * action

@@ -1,0 +1,119 @@
+"""AirdropVectorEnv: native batched stepping is bit-identical to N serial envs.
+
+The contract under test is strict equality, not closeness: the batched
+dynamics, integrators and environment bookkeeping must reproduce the
+exact float64 stream of :class:`~repro.envs.SyncVectorEnv` wrapping N
+independent :class:`~repro.airdrop.AirdropEnv` instances, so that
+``n_envs>1`` changes wall-clock only, never measurements.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.airdrop import (
+    AirdropEnv,
+    AirdropVectorEnv,
+    parafoil_rhs,
+    parafoil_rhs_batch,
+)
+from repro.airdrop.dynamics import ParafoilParams
+from repro.airdrop.integrators import get_integrator
+from repro.envs import SyncVectorEnv, make_vec
+
+
+def _reference_vec(n_envs: int, **kwargs):
+    return SyncVectorEnv([lambda: AirdropEnv(**kwargs) for _ in range(n_envs)])
+
+
+def _assert_infos_equal(a: dict, b: dict) -> None:
+    assert set(a) == set(b), (sorted(a), sorted(b))
+    for key in a:
+        va, vb = a[key], b[key]
+        if isinstance(va, np.ndarray):
+            assert np.array_equal(va, vb, equal_nan=True), key
+        elif isinstance(va, dict):
+            _assert_infos_equal(va, vb)
+        else:
+            assert va == vb, (key, va, vb)
+
+
+@pytest.mark.parametrize(
+    "n_envs,kwargs",
+    [
+        (1, dict(rk_order=5)),
+        (3, dict(rk_order=3, wind=True, gusts=True)),
+        (4, dict(rk_order=8, wind=True)),
+    ],
+)
+def test_lockstep_bit_identical_to_sync_vector(n_envs, kwargs):
+    batched = AirdropVectorEnv(num_envs=n_envs, **kwargs)
+    serial = _reference_vec(n_envs, **kwargs)
+
+    obs_b, info_b = batched.reset(seed=7)
+    obs_s, info_s = serial.reset(seed=7)
+    assert np.array_equal(obs_b, obs_s)
+    for i in range(n_envs):
+        _assert_infos_equal(info_b[i], info_s[i])
+
+    rng = np.random.default_rng(99)
+    with np.errstate(all="ignore"):
+        for _ in range(250):
+            actions = rng.uniform(-1.0, 1.0, (n_envs, 1))
+            ob, rb, tb, cb, ib = batched.step(actions)
+            os_, rs, ts, cs, is_ = serial.step(actions)
+            assert np.array_equal(ob, os_)
+            assert np.array_equal(rb, rs)
+            assert np.array_equal(tb, ts)
+            assert np.array_equal(cb, cs)
+            for i in range(n_envs):
+                _assert_infos_equal(ib[i], is_[i])
+    assert batched.stats.returns == serial.stats.returns
+    assert batched.stats.lengths == serial.stats.lengths
+    assert batched.stats.returns, "no episode ever finished — test too short"
+
+
+def test_reset_seed_sequence_matches_scalar_fanout():
+    a = AirdropVectorEnv(num_envs=3, rk_order=5)
+    b = AirdropVectorEnv(num_envs=3, rk_order=5)
+    obs_a, _ = a.reset(seed=11)
+    obs_b, _ = b.reset(seed=[11, 12, 13])
+    assert np.array_equal(obs_a, obs_b)
+    with pytest.raises(ValueError):
+        a.reset(seed=[1, 2])  # wrong length
+
+
+def test_make_vec_prefers_native_vector_entry_point():
+    venv = make_vec("Airdrop-v0", 2, rk_order=3)
+    assert isinstance(venv, AirdropVectorEnv)
+    assert venv.num_envs == 2
+    obs, _ = venv.reset(seed=0)
+    assert obs.shape == venv.observation_space.shape
+
+
+def test_batched_rhs_matches_serial_rows(rng):
+    params = ParafoilParams()
+    states = rng.normal(size=(5, 9)) * np.array([100, 100, 400, 5, 5, 3, 1, 1, 0.2])
+    states[:, 2] = np.abs(states[:, 2]) + 50.0
+    u = rng.uniform(-1, 1, 5)
+    wind = rng.normal(size=(5, 2))
+    batched = parafoil_rhs_batch(0.0, states, u, wind, params)
+    for i in range(5):
+        row = parafoil_rhs(0.0, states[i], float(u[i]), wind[i], params)
+        assert np.array_equal(batched[i], row)
+
+
+@pytest.mark.parametrize("order", [3, 5, 8])
+def test_batched_integrator_matches_serial_rows(order, rng):
+    tableau = get_integrator(order)
+
+    def rhs(t, y):
+        return np.sin(y) - 0.1 * y
+
+    ys = rng.normal(size=(4, 9))
+    stepped = tableau.step(rhs, 0.0, ys, 0.05)
+    assert stepped.shape == ys.shape
+    for i in range(4):
+        row = tableau.step(rhs, 0.0, ys[i], 0.05)
+        assert np.array_equal(stepped[i], row)
