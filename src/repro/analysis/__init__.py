@@ -1,0 +1,39 @@
+"""Static analysis of the repo's own determinism & reproducibility contracts.
+
+The headline guarantee — byte-identical results tables across executors,
+cache hits and fault-free twin runs — is enforced dynamically by the
+determinism-matrix test suites, but those only catch a regression *after*
+an expensive campaign. This package checks the contracts statically,
+before anything runs:
+
+* :mod:`repro.analysis.engine` — an AST-based lint engine with per-rule
+  visitors, ``# repro-lint: disable=RULE -- reason`` suppressions and
+  ``file:line`` reporting;
+* :mod:`repro.analysis.rules` — the rule library: determinism hazards
+  (``RPR001``–``RPR004``), hygiene (``RPR005``) and cross-file contract
+  checks (``RPR101``–``RPR106``) that catch drift between dataclasses
+  and their serialized identity headers;
+* :mod:`repro.analysis.report` — human-readable and JSON reporters.
+
+Entry points: ``repro lint [PATHS]`` on the command line, the
+``lint-self`` CI job, and :mod:`tests.test_lint_selfcheck` which keeps
+the rules themselves regression-tested against a fixtures tree.
+"""
+
+from .engine import FileContext, Finding, LintEngine, LintReport, Rule
+from .report import render_json, render_text
+from .rules import ProjectRule, default_project_rules, default_rules, rule_table
+
+__all__ = [
+    "FileContext",
+    "Finding",
+    "LintEngine",
+    "LintReport",
+    "ProjectRule",
+    "Rule",
+    "default_project_rules",
+    "default_rules",
+    "render_json",
+    "render_text",
+    "rule_table",
+]

@@ -1,0 +1,73 @@
+"""Lint reporters: ``file:line`` text for humans, stable JSON for CI.
+
+The JSON payload is sorted by (path, line, col, rule) and round-trips
+through ``json.loads`` unchanged, so the CI artifact can be diffed
+between runs and consumed by other tooling.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any
+
+from .engine import Finding, LintReport
+
+__all__ = ["render_text", "render_json", "report_payload"]
+
+JSON_FORMAT_VERSION = 1
+
+
+def render_text(report: LintReport, show_suppressed: bool = False) -> str:
+    """Human-readable findings, one ``path:line:col: RULE message`` per line."""
+    lines: list[str] = []
+    for finding in report.active():
+        lines.append(f"{finding.location()}: {finding.rule} {finding.message}")
+    if show_suppressed:
+        for finding in report.suppressed():
+            reason = finding.reason or "(no reason)"
+            lines.append(
+                f"{finding.location()}: {finding.rule} suppressed: {reason}"
+            )
+    n_active = len(report.active())
+    n_suppressed = len(report.suppressed())
+    lines.append(
+        f"{report.n_files} file(s) checked: {n_active} finding(s), "
+        f"{n_suppressed} suppressed"
+    )
+    return "\n".join(lines)
+
+
+def _finding_payload(finding: Finding) -> dict[str, Any]:
+    return {
+        "rule": finding.rule,
+        "path": finding.path,
+        "line": finding.line,
+        "col": finding.col,
+        "message": finding.message,
+        "suppressed": finding.suppressed,
+        "reason": finding.reason,
+    }
+
+
+def report_payload(report: LintReport) -> dict[str, Any]:
+    """The JSON-safe dict behind :func:`render_json` (stable-ordered)."""
+    ordered = sorted(report.findings, key=Finding.sort_key)
+    by_rule: dict[str, int] = {}
+    for finding in ordered:
+        if not finding.suppressed:
+            by_rule[finding.rule] = by_rule.get(finding.rule, 0) + 1
+    return {
+        "format_version": JSON_FORMAT_VERSION,
+        "tool": "repro-lint",
+        "findings": [_finding_payload(f) for f in ordered],
+        "summary": {
+            "files": report.n_files,
+            "active": len(report.active()),
+            "suppressed": len(report.suppressed()),
+            "by_rule": {rule: by_rule[rule] for rule in sorted(by_rule)},
+        },
+    }
+
+
+def render_json(report: LintReport) -> str:
+    return json.dumps(report_payload(report), indent=2, sort_keys=True)

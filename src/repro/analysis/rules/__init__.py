@@ -1,0 +1,53 @@
+"""The rule library: determinism, hygiene and contract rules.
+
+``default_rules()`` is the per-file AST set the engine runs everywhere;
+``default_project_rules()`` is the cross-file contract checker that
+validates the repo's dataclasses against their serialized identity
+headers. ``rule_table()`` feeds ``repro lint --list-rules`` and the docs.
+"""
+
+from __future__ import annotations
+
+from ..engine import Rule
+from .contracts import ProjectRule, default_project_rules
+from .determinism import (
+    AccumulationOrderRule,
+    UnorderedHashRule,
+    UnseededRngRule,
+    WallClockRule,
+)
+from .hygiene import SwallowedExceptionRule
+
+__all__ = [
+    "ProjectRule",
+    "default_rules",
+    "default_project_rules",
+    "rule_table",
+]
+
+
+def default_rules() -> list[Rule]:
+    """One instance of every per-file rule, in rule-id order."""
+    return [
+        UnseededRngRule(),
+        WallClockRule(),
+        UnorderedHashRule(),
+        AccumulationOrderRule(),
+        SwallowedExceptionRule(),
+    ]
+
+
+def rule_table() -> list[tuple[str, str, str]]:
+    """(rule id, title, rationale) rows for every known rule."""
+    rows = [
+        (
+            "RPR000",
+            "suppression without a reason",
+            "an unexplained disable hides why byte-identity is still safe",
+        )
+    ]
+    for rule in default_rules():
+        rows.append((rule.rule_id, rule.title, rule.rationale))
+    for project_rule in default_project_rules():
+        rows.append((project_rule.rule_id, project_rule.title, project_rule.rationale))
+    return rows

@@ -1,0 +1,63 @@
+"""Hygiene rules: failure paths that must not swallow evidence."""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from ..engine import FileContext, Finding, Rule
+
+__all__ = ["SwallowedExceptionRule"]
+
+_BROAD = ("Exception", "BaseException")
+
+
+class SwallowedExceptionRule(Rule):
+    """RPR005: ``except: pass`` in executor/journal/recovery paths."""
+
+    rule_id = "RPR005"
+    title = "swallowed exception in a resilience path"
+    rationale = (
+        "executors, the journal and fault recovery must surface every "
+        "failure as a structured outcome; a silent handler turns a broken "
+        "trial into a wrong-but-committed one"
+    )
+    scope = ("exec", "faults")
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.ExceptHandler):
+                continue
+            if not self._is_broad(node.type):
+                continue
+            if all(self._is_noop(stmt) for stmt in node.body):
+                caught = "bare except" if node.type is None else (
+                    f"except {ast.unparse(node.type)}"
+                )
+                yield self.finding(
+                    ctx,
+                    node,
+                    f"{caught} swallows the error; record a structured "
+                    "outcome (or narrow the exception type) instead",
+                )
+
+    @staticmethod
+    def _is_broad(type_node: ast.expr | None) -> bool:
+        if type_node is None:
+            return True
+        names = (
+            [elt for elt in type_node.elts]
+            if isinstance(type_node, ast.Tuple)
+            else [type_node]
+        )
+        return any(
+            isinstance(n, ast.Name) and n.id in _BROAD for n in names
+        )
+
+    @staticmethod
+    def _is_noop(stmt: ast.stmt) -> bool:
+        if isinstance(stmt, ast.Pass):
+            return True
+        return isinstance(stmt, ast.Expr) and isinstance(
+            stmt.value, ast.Constant
+        ) and stmt.value.value is Ellipsis

@@ -30,11 +30,18 @@ Commands
 ``faults``
     Generate, validate or describe a deterministic fault plan
     (``campaign --fault-plan FILE`` injects it into every trial).
+
+``lint``
+    Run the determinism & reproducibility static-analysis pass
+    (:mod:`repro.analysis`) over a source tree: AST rules for RNG /
+    wall-clock / hash-ordering hazards plus the cross-file contract
+    checks. Exits non-zero on any non-suppressed finding.
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from typing import Sequence
 
@@ -229,6 +236,54 @@ def _add_faults_parser(subparsers) -> None:
     desc.add_argument("plan", type=str, help="plan JSON file")
 
 
+def _add_lint_parser(subparsers) -> None:
+    p = subparsers.add_parser(
+        "lint", help="check a source tree against the reproducibility contracts"
+    )
+    p.add_argument(
+        "paths",
+        nargs="*",
+        default=["src"],
+        metavar="PATH",
+        help="files or directories to lint (default: src)",
+    )
+    p.add_argument(
+        "--format",
+        choices=["human", "json"],
+        default="human",
+        help="findings as file:line text or a stable-ordered JSON report",
+    )
+    p.add_argument(
+        "--rules",
+        type=str,
+        default=None,
+        metavar="IDS",
+        help="comma-separated rule ids to run (default: all, e.g. RPR001,RPR005)",
+    )
+    p.add_argument(
+        "--no-contracts",
+        action="store_true",
+        help="skip the cross-file contract rules (RPR101+)",
+    )
+    p.add_argument(
+        "--show-suppressed",
+        action="store_true",
+        help="also list suppressed findings with their reasons",
+    )
+    p.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the rule table (id, what it catches, why) and exit",
+    )
+    p.add_argument(
+        "--output",
+        type=str,
+        default=None,
+        metavar="FILE",
+        help="also write the JSON report to FILE (for CI artifacts)",
+    )
+
+
 def _add_telemetry_parser(subparsers) -> None:
     p = subparsers.add_parser("telemetry", help="summarize or convert a telemetry log")
     p.add_argument("log", type=str, help="JSONL file written by 'campaign --telemetry'")
@@ -365,6 +420,53 @@ def _cmd_faults(args) -> int:
     return 0
 
 
+def _cmd_lint(args) -> int:
+    from repro.analysis import (
+        LintEngine,
+        default_project_rules,
+        default_rules,
+        render_json,
+        render_text,
+        rule_table,
+    )
+    from repro.analysis.report import report_payload
+
+    if args.list_rules:
+        print(f"{'rule':<8} {'catches':<42} protects")
+        for rule_id, title, rationale in rule_table():
+            print(f"{rule_id:<8} {title:<42} {rationale}")
+        return 0
+    rules = default_rules()
+    project_rules = [] if args.no_contracts else default_project_rules()
+    if args.rules:
+        wanted = {r.strip().upper() for r in args.rules.split(",") if r.strip()}
+        known = {r.rule_id for r in rules} | {r.rule_id for r in project_rules}
+        unknown = sorted(wanted - known)
+        if unknown:
+            print(f"repro lint: unknown rule id(s): {', '.join(unknown)}",
+                  file=sys.stderr)
+            return 2
+        rules = [r for r in rules if r.rule_id in wanted]
+        project_rules = [r for r in project_rules if r.rule_id in wanted]
+    missing = [p for p in args.paths if not os.path.exists(p)]
+    if missing:
+        print(f"repro lint: no such path(s): {', '.join(missing)}", file=sys.stderr)
+        return 2
+    engine = LintEngine(rules=rules, project_rules=project_rules)
+    report = engine.run(args.paths)
+    if args.output:
+        import json
+
+        with open(args.output, "w", encoding="utf-8") as handle:
+            json.dump(report_payload(report), handle, indent=2, sort_keys=True)
+            handle.write("\n")
+    if args.format == "json":
+        print(render_json(report))
+    else:
+        print(render_text(report, show_suppressed=args.show_suppressed))
+    return 0 if report.ok else 1
+
+
 def _cmd_telemetry(args) -> int:
     import json
 
@@ -449,7 +551,7 @@ def _cmd_episode(args) -> int:
 def _cmd_calibration(args) -> int:
     print("closed-form calibration vs the paper's timing anchors:")
     print(f"{'sol':>4} {'configuration':<28} {'paper':>8} {'predicted':>10} {'error':>7}")
-    for solution, (fw, rk, nodes, cores, minutes, kj) in sorted(PAPER_ANCHORS.items()):
+    for solution, (fw, rk, nodes, cores, minutes, _kj) in sorted(PAPER_ANCHORS.items()):
         predicted = predict_anchor_minutes(solution)
         err = (predicted - minutes) / minutes
         config = f"{fw}/ppo/rk{rk}/{nodes}n x {cores}c"
@@ -469,6 +571,7 @@ def main(argv: Sequence[str] | None = None) -> int:
     _add_calibration_parser(subparsers)
     _add_telemetry_parser(subparsers)
     _add_faults_parser(subparsers)
+    _add_lint_parser(subparsers)
     args = parser.parse_args(argv)
     handler = {
         "campaign": _cmd_campaign,
@@ -477,6 +580,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         "calibration": _cmd_calibration,
         "telemetry": _cmd_telemetry,
         "faults": _cmd_faults,
+        "lint": _cmd_lint,
     }[args.command]
     return handler(args)
 

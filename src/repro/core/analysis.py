@@ -100,7 +100,7 @@ def parameter_importance(
     raw: dict[str, float] = {}
     for parameter in parameters:
         groups: dict = defaultdict(list)
-        for value, yi in zip([t.config[parameter] for t in trials], y):
+        for value, yi in zip([t.config[parameter] for t in trials], y, strict=True):
             groups[value].append(yi)
         if total_var <= 0:
             raw[parameter] = 0.0

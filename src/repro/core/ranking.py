@@ -57,7 +57,7 @@ class Ranking:
         """Trials annotated as first-front / rank-0 (falls back to best)."""
         members = [
             t for t in self.ordered
-            if self.annotations.get(t.trial_id, {}).get("front", None) == 0
+            if self.annotations.get(t.trial_id, {}).get("front") == 0
         ]
         return members or self.ordered[:1]
 

@@ -33,10 +33,10 @@ def render_table(table: ResultsTable, title: str | None = None) -> str:
     lines = []
     if title:
         lines.append(title)
-    lines.append(" | ".join(c.ljust(w) for c, w in zip(columns, widths)))
+    lines.append(" | ".join(c.ljust(w) for c, w in zip(columns, widths, strict=True)))
     lines.append(sep)
     for row in rows:
-        lines.append(" | ".join(cell.ljust(w) for cell, w in zip(row, widths)))
+        lines.append(" | ".join(cell.ljust(w) for cell, w in zip(row, widths, strict=True)))
     return "\n".join(lines)
 
 
@@ -80,7 +80,7 @@ def render_scatter(
     y_span = (y_hi - y_lo) or 1.0
 
     grid = [[" "] * width for _ in range(height)]
-    for (x, y), trial_id in zip(pts, ids):
+    for (x, y), trial_id in zip(pts, ids, strict=True):
         col = int(round((x - x_lo) / x_span * (width - 1)))
         row = int(round((y - y_lo) / y_span * (height - 1)))
         row = height - 1 - row  # text rows grow downward

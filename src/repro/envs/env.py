@@ -46,6 +46,7 @@ class Env(Generic[ObsType, ActType]):
     def np_random(self) -> np.random.Generator:
         """Lazily-created environment RNG."""
         if self._np_random is None:
+            # repro-lint: disable=RPR001 -- gym API parity: campaigns always replace this via reset(seed); only ad-hoc unseeded use reaches it
             self._np_random = np.random.default_rng()
         return self._np_random
 

@@ -235,7 +235,7 @@ class Tuple(Space):
     def seed(self, seed: int | None = None) -> list[int]:
         seeds = super().seed(seed)
         children = np.random.SeedSequence(seed).spawn(len(self.spaces))
-        for space, child in zip(self.spaces, children):
+        for space, child in zip(self.spaces, children, strict=True):
             space.seed(int(child.generate_state(1)[0]))
         return seeds
 
@@ -246,7 +246,7 @@ class Tuple(Space):
     def contains(self, x: Any) -> bool:
         if not isinstance(x, (tuple, list)) or len(x) != len(self.spaces):
             return False
-        return all(space.contains(part) for space, part in zip(self.spaces, x))
+        return all(space.contains(part) for space, part in zip(self.spaces, x, strict=True))
 
     def __len__(self) -> int:
         return len(self.spaces)
@@ -270,7 +270,7 @@ class Dict(Space):
     def seed(self, seed: int | None = None) -> list[int]:
         seeds = super().seed(seed)
         children = np.random.SeedSequence(seed).spawn(len(self.spaces))
-        for space, child in zip(self.spaces.values(), children):
+        for space, child in zip(self.spaces.values(), children, strict=True):
             space.seed(int(child.generate_state(1)[0]))
         return seeds
 
@@ -303,8 +303,10 @@ def flatdim(space: Space) -> int:
     if isinstance(space, MultiDiscrete):
         return int(space.nvec.sum())
     if isinstance(space, Tuple):
+        # repro-lint: disable=RPR004 -- integer dimension count, no float rounding involved
         return sum(flatdim(s) for s in space.spaces)
     if isinstance(space, Dict):
+        # repro-lint: disable=RPR004 -- integer dimension count, no float rounding involved
         return sum(flatdim(s) for s in space.spaces.values())
     raise TypeError(f"cannot flatten space of type {type(space).__name__}")
 
@@ -324,12 +326,12 @@ def flatten(space: Space, x: Any) -> np.ndarray:
     if isinstance(space, MultiDiscrete):
         out = np.zeros(int(space.nvec.sum()), dtype=np.float64)
         offset = 0
-        for value, n in zip(np.asarray(x).ravel(), space.nvec):
+        for value, n in zip(np.asarray(x).ravel(), space.nvec, strict=True):
             out[offset + int(value)] = 1.0
             offset += int(n)
         return out
     if isinstance(space, Tuple):
-        return np.concatenate([flatten(s, part) for s, part in zip(space.spaces, x)])
+        return np.concatenate([flatten(s, part) for s, part in zip(space.spaces, x, strict=True)])
     if isinstance(space, Dict):
         return np.concatenate([flatten(s, x[key]) for key, s in space.spaces.items()])
     raise TypeError(f"cannot flatten space of type {type(space).__name__}")

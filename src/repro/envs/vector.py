@@ -112,7 +112,7 @@ class SyncVectorEnv:
         truncations = np.zeros(self.num_envs, dtype=bool)
         infos: list[dict] = []
 
-        for index, (env, action) in enumerate(zip(self.envs, actions)):
+        for index, (env, action) in enumerate(zip(self.envs, actions, strict=True)):
             obs, reward, terminated, truncated, info = env.step(action)
             self._episode_returns[index] += float(reward)
             self._episode_lengths[index] += 1

@@ -189,7 +189,9 @@ class TrialCache:
 
     # ------------------------------------------------------------ internals
     def _read_disk(self, key: str) -> dict[str, Any] | None:
-        target = os.path.join(self.path, f"{key}.json")  # type: ignore[arg-type]
+        if self.path is None:
+            return None
+        target = os.path.join(self.path, f"{key}.json")
         try:
             with open(target, encoding="utf-8") as handle:
                 entry = json.load(handle)

@@ -142,7 +142,9 @@ class CampaignJournal:
                         f"campaign: {field}={self._header.get(field)!r} on disk "
                         f"vs {identity.get(field)!r} now"
                     )
-        self._handle = open(self.path, "a", encoding="utf-8")
+        # the handle outlives this call on purpose: one append stream per
+        # campaign, flushed per record and closed in close()
+        self._handle = open(self.path, "a", encoding="utf-8")  # noqa: SIM115
         if self._header is None:
             self._header = identity
             self._write(identity)

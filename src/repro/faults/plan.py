@@ -196,7 +196,7 @@ class FaultPlan:
             by_node.setdefault(crash.node, []).append(crash)
         for node, crashes in by_node.items():
             crashes = sorted(crashes, key=lambda c: c.at)
-            for a, b in zip(crashes, crashes[1:]):
+            for a, b in zip(crashes, crashes[1:], strict=False):
                 if a.down_until >= b.at:
                     raise ValueError(
                         f"overlapping crash windows on node {node}: "

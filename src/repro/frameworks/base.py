@@ -780,6 +780,7 @@ class Framework:
         # wrap phases lexically: each block becomes one "rollout" span and
         # the block's accumulated update time one coalesced "update" child.
         telem_on = telem.enabled
+        # repro-lint: disable=RPR002 -- real-time span timing for telemetry only; spans land in volatile extras that table_fingerprint strips
         clock = time.perf_counter
         block_t0 = clock()
         update_acc = 0.0
@@ -896,6 +897,7 @@ class Framework:
         block_start = 0
         iteration = 0
         telem_on = telem.enabled
+        # repro-lint: disable=RPR002 -- real-time span timing for telemetry only; spans land in volatile extras that table_fingerprint strips
         clock = time.perf_counter
         block_t0 = clock()
         update_acc = 0.0

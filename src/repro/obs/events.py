@@ -148,7 +148,9 @@ class JsonlSink(Sink):
 
     def __init__(self, path: str, mode: str = "w") -> None:
         self.path = path
-        self._handle = open(path, mode, encoding="utf-8")
+        # long-lived sink handle, closed in close(); a with-block would
+        # force re-opening the file once per emitted record
+        self._handle = open(path, mode, encoding="utf-8")  # noqa: SIM115
         self._n_emitted = 0
 
     def emit(self, record: dict[str, Any]) -> None:

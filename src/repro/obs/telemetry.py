@@ -20,7 +20,7 @@ from typing import Any
 
 from .events import Event, NullSink, RingBufferSink, Sink
 from .meters import NULL_METERS, MeterRegistry, NullMeterRegistry
-from .spans import NULL_TRACER, NullTracer, Span, SpanTracer
+from .spans import NULL_TRACER, NullTracer, Span, SpanTracer, _NullSpan
 
 __all__ = ["Telemetry", "NullTelemetry", "NULL_TELEMETRY"]
 
@@ -169,14 +169,14 @@ class NullTelemetry(Telemetry):
 
     def __init__(self) -> None:
         self.sink = NullSink()
-        self.tracer: NullTracer = NULL_TRACER  # type: ignore[assignment]
-        self.meters: NullMeterRegistry = NULL_METERS  # type: ignore[assignment]
+        self.tracer: NullTracer = NULL_TRACER
+        self.meters: NullMeterRegistry = NULL_METERS
         self._context: dict[str, Any] = {}
 
     def event(self, name: str, **fields: Any) -> None:
         pass
 
-    def span(self, name: str, **fields: Any):  # type: ignore[override]
+    def span(self, name: str, **fields: Any) -> _NullSpan:  # type: ignore[override]
         return NULL_TRACER.span(name)
 
     @property

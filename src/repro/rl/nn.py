@@ -88,7 +88,7 @@ class Dense(Layer):
         in_dim: int,
         out_dim: int,
         rng: np.random.Generator,
-        gain: float = np.sqrt(2.0),
+        gain: float = 2.0**0.5,
         name: str = "dense",
     ) -> None:
         self.w = Parameter(f"{name}.w", orthogonal_init((in_dim, out_dim), gain, rng))
@@ -232,6 +232,7 @@ class MLP:
             p.zero_grad()
 
     def n_parameters(self) -> int:
+        # repro-lint: disable=RPR004 -- integer parameter count, no float rounding involved
         return sum(p.value.size for p in self.parameters())
 
     # --------------------------------------------------------- state (de)ser
@@ -258,7 +259,7 @@ class MLP:
         mine, theirs = self.parameters(), other.parameters()
         if len(mine) != len(theirs):
             raise ValueError("architectures differ: parameter count mismatch")
-        for dst, src in zip(mine, theirs):
+        for dst, src in zip(mine, theirs, strict=True):
             if dst.value.shape != src.value.shape:
                 raise ValueError(
                     f"shape mismatch: {dst.name} {dst.value.shape} vs "
@@ -270,7 +271,7 @@ class MLP:
         """Soft update ``self <- tau * other + (1 - tau) * self`` (SAC targets)."""
         if not 0.0 <= tau <= 1.0:
             raise ValueError("tau must be in [0, 1]")
-        for mine, theirs in zip(self.parameters(), other.parameters()):
+        for mine, theirs in zip(self.parameters(), other.parameters(), strict=True):
             mine.value *= 1.0 - tau
             mine.value += tau * theirs.value
 

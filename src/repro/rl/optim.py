@@ -47,7 +47,7 @@ class SGD(Optimizer):
         self._velocity = [np.zeros_like(p.value) for p in self.params]
 
     def step(self) -> None:
-        for p, v in zip(self.params, self._velocity):
+        for p, v in zip(self.params, self._velocity, strict=True):
             if self.momentum:
                 v *= self.momentum
                 v += p.grad
@@ -81,7 +81,7 @@ class Adam(Optimizer):
         bias1 = 1.0 - self.beta1**self._t
         bias2 = 1.0 - self.beta2**self._t
         step_size = self.lr * np.sqrt(bias2) / bias1
-        for p, m, v in zip(self.params, self._m, self._v):
+        for p, m, v in zip(self.params, self._m, self._v, strict=True):
             m *= self.beta1
             m += (1.0 - self.beta1) * p.grad
             v *= self.beta2

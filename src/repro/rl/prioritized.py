@@ -165,7 +165,7 @@ class PrioritizedReplayBuffer:
 
     def update_priorities(self, indices: np.ndarray, td_errors: np.ndarray) -> None:
         """Feed learner TD errors back as new priorities."""
-        for index, err in zip(np.asarray(indices), np.asarray(td_errors)):
+        for index, err in zip(np.asarray(indices), np.asarray(td_errors), strict=True):
             priority = float(abs(err)) + self.epsilon
             self._max_priority = max(self._max_priority, priority)
             self._tree.set(int(index), priority**self.alpha)

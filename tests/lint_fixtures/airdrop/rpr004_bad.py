@@ -1,0 +1,5 @@
+"""Fixture: order-sensitive float accumulation in a numeric kernel."""
+
+
+def weighted_state(states, weights):
+    return sum(w * s for w, s in zip(weights, states))

@@ -1,0 +1,8 @@
+"""Fixture: stacked-array accumulation — RPR004 stays silent."""
+import numpy as np
+
+
+def weighted_state(states, weights):
+    total = np.sum(np.asarray(weights)[:, None] * np.stack(states), axis=0)
+    count = sum(s.size for s in states)  # repro-lint: disable=RPR004 -- integer count, no rounding
+    return total, count + sum([1, 2, 3])

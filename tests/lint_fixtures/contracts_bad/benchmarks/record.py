@@ -1,0 +1,14 @@
+"""Drifted fixture: the gate reads a field the recorder never writes."""
+
+
+def record(args):
+    payload = {
+        "workloads": {},
+        "steps": args.steps,
+    }
+    return payload
+
+
+def compare(args):
+    baseline, candidate = args.recordings
+    return baseline["workloads"], candidate["derived"]

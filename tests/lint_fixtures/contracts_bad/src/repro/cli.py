@@ -1,0 +1,11 @@
+"""Drifted fixture: a declared flag no handler ever reads."""
+
+
+def add_parser(subparsers):
+    p = subparsers.add_parser("campaign")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--orphan-flag", type=str, default=None)
+
+
+def handle(args):
+    return args.seed

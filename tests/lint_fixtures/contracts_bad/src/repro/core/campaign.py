@@ -1,0 +1,15 @@
+"""Drifted fixture: identity()/_cache_identity() out of sync with consumers."""
+
+
+class Campaign:
+    def identity(self):
+        return {
+            "explorer": self.explorer,
+            "base_seed": self.base_seed,
+        }
+
+    def _cache_identity(self):
+        return {
+            "space": self._space_hash(),
+            "seed": 0,  # collides with TrialCache.key()'s own "seed" field
+        }

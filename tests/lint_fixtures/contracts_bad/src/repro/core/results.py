@@ -1,0 +1,7 @@
+"""Drifted fixture: a field the serializer never writes."""
+
+
+class TrialResult:
+    config: dict
+    objectives: dict
+    secret_field: float

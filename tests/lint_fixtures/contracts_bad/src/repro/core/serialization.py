@@ -1,0 +1,12 @@
+"""Drifted fixture: to/from dict disagree with TrialResult and each other."""
+
+
+def trial_to_dict(trial):
+    return {
+        "config": trial.config,
+        "objectives": trial.objectives,
+    }
+
+
+def trial_from_dict(row):
+    return (row["config"], row.get("objectives"), row.get("phantom_key"))

@@ -1,0 +1,12 @@
+"""Fixture cache with the real key() payload shape."""
+
+
+class TrialCache:
+    def key(self, config, seed, identity):
+        payload = {
+            "config": repr(config),
+            "seed": int(seed),
+            "code": self.code_tag,
+            **identity,
+        }
+        return payload

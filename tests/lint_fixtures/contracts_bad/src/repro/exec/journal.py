@@ -1,0 +1,7 @@
+"""Drifted fixture: requires a field the campaign never provides."""
+
+_IDENTITY_FIELDS = (
+    "explorer",
+    "base_seed",
+    "metrics",
+)

@@ -1,0 +1,18 @@
+"""Drifted fixture: space and case study disagree on parameter names."""
+
+
+def airdrop_parameter_space():
+    return ParameterSpace(
+        parameters=[
+            Categorical("rk_order", [3, 5, 8]),
+            Categorical("ghost_param", [1, 2]),
+        ]
+    )
+
+
+class CaseStudy:
+    def make_spec(self, config, seed):
+        return TrainSpec(
+            rk_order=int(config["rk_order"]),
+            cores=int(config["phantom_param"]),
+        )

@@ -1,0 +1,11 @@
+"""Fixture: unordered iteration feeding digests / canonical JSON."""
+import hashlib
+import json
+
+
+def fingerprint(payload, names):
+    raw = hashlib.sha256(json.dumps(payload).encode())  # no sort_keys
+    tags = json.dumps([n for n in {"b", "a"}])          # set literal order
+    keyed = hashlib.sha1(str(list(payload.keys())).encode())
+    sets = json.dumps(list(set(names)))
+    return raw, tags, keyed, sets

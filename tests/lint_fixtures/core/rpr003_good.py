@@ -1,0 +1,11 @@
+"""Fixture: digests over explicitly ordered inputs — RPR003 stays silent."""
+import hashlib
+import json
+
+
+def fingerprint(payload, names):
+    raw = hashlib.sha256(json.dumps(payload, sort_keys=True).encode())
+    tags = json.dumps(sorted({"b", "a"}))
+    keyed = hashlib.sha1(str(sorted(payload.keys())).encode())
+    sets = json.dumps(sorted(set(names)))
+    return raw, tags, keyed, sets

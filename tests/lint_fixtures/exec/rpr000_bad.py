@@ -1,0 +1,8 @@
+"""Fixture: a suppression written without a reason raises RPR000."""
+
+
+def flush(handle):
+    try:
+        handle.flush()
+    except Exception:  # repro-lint: disable=RPR005
+        pass

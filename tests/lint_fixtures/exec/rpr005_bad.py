@@ -1,0 +1,15 @@
+"""Fixture: swallowed exceptions in a resilience path."""
+
+
+def drain(queue):
+    try:
+        return queue.pop()
+    except Exception:
+        pass
+
+
+def flush(handle):
+    try:
+        handle.flush()
+    except:  # noqa: E722
+        ...

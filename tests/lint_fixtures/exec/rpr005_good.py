@@ -1,0 +1,11 @@
+"""Fixture: failures surface as structured outcomes — RPR005 stays silent."""
+
+
+def drain(queue, log):
+    try:
+        return queue.pop()
+    except IndexError:
+        pass  # narrow type: an empty queue is an expected state
+    except Exception as exc:
+        log.append(repr(exc))
+        raise

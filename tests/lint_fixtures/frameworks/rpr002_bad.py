@@ -1,0 +1,10 @@
+"""Fixture: wall-clock reads in a measured (cache-key-hashed) module."""
+import time
+from datetime import datetime
+
+
+def measure():
+    started = time.time()
+    stamp = datetime.now()
+    clock = time.perf_counter  # aliasing is the usual leak vector
+    return started, stamp, clock()

@@ -1,0 +1,7 @@
+"""Fixture: virtual clocks and injected timestamps — RPR002 stays silent."""
+import time
+
+
+def measure(virtual_now, clock):
+    time.sleep(0.0)  # scheduling, not a clock *read*
+    return virtual_now + clock()

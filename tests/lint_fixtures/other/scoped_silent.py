@@ -1,0 +1,9 @@
+"""Fixture: scoped rules must ignore files outside their packages."""
+import numpy as np
+import time
+
+
+def unscoped():
+    # RPR001/RPR002 are scoped to the measured packages; this file's
+    # directory is not one of them, so these stay un-flagged here
+    return np.random.rand(3), time.time(), sum(x for x in range(3))

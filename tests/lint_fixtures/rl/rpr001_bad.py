@@ -1,0 +1,13 @@
+"""Fixture: every form of hidden-global / unseeded RNG RPR001 catches."""
+import random
+
+import numpy as np
+from numpy.random import default_rng
+
+
+def sample_noise(n):
+    legacy = np.random.rand(n)            # legacy global numpy RNG
+    stdlib = random.random()              # stdlib global RNG
+    unseeded = default_rng()              # fresh OS entropy every call
+    also_unseeded = np.random.default_rng()
+    return legacy, stdlib, unseeded, also_unseeded

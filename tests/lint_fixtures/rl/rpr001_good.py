@@ -1,0 +1,12 @@
+"""Fixture: explicit, seeded randomness — RPR001 must stay silent."""
+import random
+
+import numpy as np
+from numpy.random import default_rng
+
+
+def sample_noise(n, seed):
+    rng = default_rng(seed)
+    other = np.random.default_rng(np.random.SeedSequence(seed))
+    local = random.Random(seed)
+    return rng.standard_normal(n), other.random(), local.random()
