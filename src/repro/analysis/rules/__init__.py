@@ -16,7 +16,7 @@ from .determinism import (
     UnseededRngRule,
     WallClockRule,
 )
-from .hygiene import SwallowedExceptionRule
+from .hygiene import SocketTimeoutRule, SwallowedExceptionRule
 
 __all__ = [
     "ProjectRule",
@@ -34,6 +34,7 @@ def default_rules() -> list[Rule]:
         UnorderedHashRule(),
         AccumulationOrderRule(),
         SwallowedExceptionRule(),
+        SocketTimeoutRule(),
     ]
 
 

@@ -7,7 +7,7 @@ from typing import Iterator
 
 from ..engine import FileContext, Finding, Rule
 
-__all__ = ["SwallowedExceptionRule"]
+__all__ = ["SwallowedExceptionRule", "SocketTimeoutRule"]
 
 _BROAD = ("Exception", "BaseException")
 
@@ -61,3 +61,99 @@ class SwallowedExceptionRule(Rule):
         return isinstance(stmt, ast.Expr) and isinstance(
             stmt.value, ast.Constant
         ) and stmt.value.value is Ellipsis
+
+
+#: socket methods that block until the peer acts
+_BLOCKING_SOCK_METHODS = frozenset(
+    {"recv", "recv_into", "recvfrom", "recvfrom_into", "accept", "connect"}
+)
+
+
+class SocketTimeoutRule(Rule):
+    """RPR007: blocking socket calls in ``repro.net`` without a timeout.
+
+    The heuristic is per-function: a ``recv``/``accept``/``connect``
+    call is fine when the *same* function arms a timeout via
+    ``settimeout(...)`` (with a non-``None`` value) before blocking, and
+    ``create_connection`` must be given its ``timeout`` argument.
+    Nested functions are separate scopes — a timeout armed in an outer
+    function does not protect an inner one.
+    """
+
+    rule_id = "RPR007"
+    title = "blocking socket call without an explicit timeout"
+    rationale = (
+        "a dead peer must surface as a timeout/'connection lost' outcome "
+        "the retry policy can requeue, never as a silently hung campaign"
+    )
+    scope = ("net",)
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        units: list[ast.AST] = [ctx.tree]
+        units.extend(
+            node
+            for node in ast.walk(ctx.tree)
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
+        )
+        for unit in units:
+            yield from self._check_unit(ctx, unit)
+
+    def _check_unit(self, ctx: FileContext, unit: ast.AST) -> Iterator[Finding]:
+        calls = self._own_calls(unit)
+        armed = any(self._arms_timeout(call) for call in calls)
+        for call in calls:
+            name = self._method_name(call)
+            if name in _BLOCKING_SOCK_METHODS and not armed:
+                yield self.finding(
+                    ctx,
+                    call,
+                    f".{name}() with no timeout armed in this function; "
+                    "call settimeout(...) first so a dead peer cannot "
+                    "hang the campaign",
+                )
+            elif name == "create_connection" and not (
+                armed or self._has_timeout_arg(call)
+            ):
+                yield self.finding(
+                    ctx,
+                    call,
+                    "create_connection() without a timeout argument "
+                    "blocks indefinitely on an unreachable coordinator",
+                )
+
+    @staticmethod
+    def _own_calls(unit: ast.AST) -> list[ast.Call]:
+        """Calls in this scope, excluding nested function bodies."""
+        body = getattr(unit, "body", [])
+        calls: list[ast.Call] = []
+        stack: list[ast.AST] = list(body)
+        while stack:
+            node = stack.pop()
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+                continue
+            if isinstance(node, ast.Call):
+                calls.append(node)
+            stack.extend(ast.iter_child_nodes(node))
+        return calls
+
+    @staticmethod
+    def _method_name(call: ast.Call) -> str | None:
+        if isinstance(call.func, ast.Attribute):
+            return call.func.attr
+        if isinstance(call.func, ast.Name):
+            return call.func.id
+        return None
+
+    @classmethod
+    def _arms_timeout(cls, call: ast.Call) -> bool:
+        if cls._method_name(call) != "settimeout" or not call.args:
+            return False
+        arg = call.args[0]
+        # settimeout(None) *disarms* the timeout — it does not count
+        return not (isinstance(arg, ast.Constant) and arg.value is None)
+
+    @staticmethod
+    def _has_timeout_arg(call: ast.Call) -> bool:
+        if len(call.args) >= 2:
+            return True
+        return any(kw.arg == "timeout" for kw in call.keywords)

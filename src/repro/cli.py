@@ -31,6 +31,12 @@ Commands
     Generate, validate or describe a deterministic fault plan
     (``campaign --fault-plan FILE`` injects it into every trial).
 
+``worker``
+    Serve trials for a remote coordinator: ``repro worker --connect
+    HOST:PORT`` dials a ``campaign --executor remote --listen`` run,
+    passes the code-version handshake, and executes trials it is
+    dealt until the coordinator shuts the fleet down.
+
 ``lint``
     Run the determinism & reproducibility static-analysis pass
     (:mod:`repro.analysis`) over a source tree: AST rules for RNG /
@@ -61,6 +67,7 @@ from repro.core import (
     render_table,
 )
 from repro.exec import EXECUTORS, CampaignJournal, JournalMismatch, RetryPolicy
+from repro.exec.executors import LAZY_EXECUTORS
 from repro.faults import FaultPlan
 from repro.obs import (
     JsonlSink,
@@ -111,7 +118,7 @@ def _add_campaign_parser(subparsers) -> None:
     )
     p.add_argument(
         "--executor",
-        choices=sorted(EXECUTORS),
+        choices=sorted(set(EXECUTORS) | set(LAZY_EXECUTORS)),
         default="serial",
         help="where trials run (results are identical across executors "
         "for the non-adaptive explorers)",
@@ -121,7 +128,31 @@ def _add_campaign_parser(subparsers) -> None:
         type=int,
         default=4,
         metavar="N",
-        help="parallel trial slots for --executor thread/process",
+        help="parallel trial slots for --executor thread/process/remote",
+    )
+    p.add_argument(
+        "--listen",
+        type=str,
+        default="127.0.0.1:0",
+        metavar="HOST:PORT",
+        help="bind address for --executor remote (port 0 picks a free "
+        "port; the chosen address is printed for 'repro worker --connect')",
+    )
+    p.add_argument(
+        "--min-workers",
+        type=int,
+        default=1,
+        metavar="N",
+        help="with --executor remote, wait for this many workers to "
+        "connect before running trials",
+    )
+    p.add_argument(
+        "--heartbeat-timeout",
+        type=float,
+        default=10.0,
+        metavar="SECONDS",
+        help="with --executor remote, declare a silent worker dead after "
+        "this long and requeue its trials",
     )
     p.add_argument(
         "--trial-timeout",
@@ -175,6 +206,45 @@ def _add_campaign_parser(subparsers) -> None:
         metavar="DIR",
         help="content-addressed trial cache directory; identical trials "
         "are committed from cache instead of re-trained",
+    )
+    p.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="disable the trial cache entirely (neither read nor write)",
+    )
+
+
+def _add_worker_parser(subparsers) -> None:
+    p = subparsers.add_parser(
+        "worker", help="serve trials for a remote campaign coordinator"
+    )
+    p.add_argument(
+        "--connect",
+        type=str,
+        required=True,
+        metavar="HOST:PORT",
+        help="coordinator address printed by 'repro campaign --executor remote'",
+    )
+    p.add_argument(
+        "--slots",
+        type=int,
+        default=1,
+        metavar="N",
+        help="trials this worker runs concurrently",
+    )
+    p.add_argument(
+        "--name",
+        type=str,
+        default=None,
+        help="worker identity for telemetry lanes (default: <host>-<pid>)",
+    )
+    p.add_argument(
+        "--cache",
+        type=str,
+        default=".repro-cache",
+        metavar="DIR",
+        help="shared content-addressed trial cache; warm trials are "
+        "answered locally without re-running env steps",
     )
     p.add_argument(
         "--no-cache",
@@ -296,6 +366,38 @@ def _add_telemetry_parser(subparsers) -> None:
     )
 
 
+def _parse_hostport(text: str) -> tuple[str, int]:
+    """``HOST:PORT`` -> (host, port); raises ValueError on junk."""
+    host, sep, port_text = text.rpartition(":")
+    if not sep or not host:
+        raise ValueError(f"expected HOST:PORT, got {text!r}")
+    try:
+        port = int(port_text)
+    except ValueError:
+        raise ValueError(f"bad port in {text!r}") from None
+    if not 0 <= port <= 65535:
+        raise ValueError(f"port {port} out of range in {text!r}")
+    return host, port
+
+
+def _cmd_worker(args) -> int:
+    from repro.net import WorkerAgent
+
+    try:
+        host, port = _parse_hostport(args.connect)
+    except ValueError as exc:
+        print(f"repro worker: {exc}", file=sys.stderr)
+        return 2
+    agent = WorkerAgent(
+        host,
+        port,
+        name=args.name,
+        slots=args.slots,
+        cache=None if args.no_cache else args.cache,
+    )
+    return agent.run()
+
+
 def _make_explorer(args):
     space = airdrop_parameter_space()
     if args.explorer == "table1":
@@ -337,13 +439,45 @@ def _cmd_campaign(args) -> int:
         print(f"resuming from {args.resume}: {journal.n_recorded} trials recorded")
     elif args.journal:
         journal = CampaignJournal(args.journal)
+    executor: object = args.executor
+    remote = None
+    if args.executor == "remote":
+        from repro.net import RemoteExecutor
+
+        try:
+            host, port = _parse_hostport(args.listen)
+        except ValueError as exc:
+            print(f"repro campaign: {exc}", file=sys.stderr)
+            return 2
+        remote = RemoteExecutor(
+            max_workers=args.max_workers,
+            host=host,
+            port=port,
+            heartbeat_timeout=args.heartbeat_timeout,
+            telemetry=telemetry,
+        )
+        bound_host, bound_port = remote.address
+        print(
+            f"coordinator listening on {bound_host}:{bound_port} — start "
+            f"workers with 'repro worker --connect {bound_host}:{bound_port}'",
+            flush=True,
+        )
+        if args.min_workers > 0:
+            try:
+                n = remote.wait_for_workers(args.min_workers, timeout=600.0)
+            except TimeoutError as exc:
+                print(f"repro campaign: {exc}", file=sys.stderr)
+                remote.shutdown()
+                return 1
+            print(f"{n} worker(s) connected", flush=True)
+        executor = remote
     campaign = table1_campaign(
         seed=args.seed,
         scale=Scale(real_steps=args.steps),
         explorer=_make_explorer(args),
         seed_strategy=args.seed_strategy,
         telemetry=telemetry,
-        executor=args.executor,
+        executor=executor,
         max_workers=args.max_workers,
         retry=RetryPolicy(max_retries=args.retries) if args.retries else None,
         trial_timeout=args.trial_timeout,
@@ -362,8 +496,12 @@ def _cmd_campaign(args) -> int:
         print(f"repro campaign: {exc}", file=sys.stderr)
         return 1
     finally:
+        if remote is not None:
+            remote.shutdown()
         if telemetry is not None:
             telemetry.close()
+    if report.meta.get("topology_warning"):
+        print(f"WARNING: {report.meta['topology_warning']}", file=sys.stderr)
     if args.resume:
         print(f"\nreplayed {report.meta.get('n_replayed', 0)} journaled trials "
               f"without re-evaluation")
@@ -566,6 +704,7 @@ def main(argv: Sequence[str] | None = None) -> int:
     )
     subparsers = parser.add_subparsers(dest="command", required=True)
     _add_campaign_parser(subparsers)
+    _add_worker_parser(subparsers)
     _add_analyze_parser(subparsers)
     _add_episode_parser(subparsers)
     _add_calibration_parser(subparsers)
@@ -575,6 +714,7 @@ def main(argv: Sequence[str] | None = None) -> int:
     args = parser.parse_args(argv)
     handler = {
         "campaign": _cmd_campaign,
+        "worker": _cmd_worker,
         "analyze": _cmd_analyze,
         "episode": _cmd_episode,
         "calibration": _cmd_calibration,

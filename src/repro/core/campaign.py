@@ -245,7 +245,13 @@ class Campaign:
             max_workers=executor.max_workers,
         )
         if self.journal is not None:
-            self.journal.open(self.identity())
+            self.journal.open(
+                self.identity(),
+                topology={
+                    "executor": executor.name,
+                    "max_workers": executor.max_workers,
+                },
+            )
         cache_identity = self._cache_identity()
         n_retried = 0
         n_cached = 0
@@ -312,6 +318,7 @@ class Campaign:
                             telemetry_on=telem.enabled,
                             telemetry=telem if executor.shares_telemetry else None,
                             timeout_s=self.trial_timeout,
+                            cache_key=cache_keys.get(next_seq),
                         )
                         self.explorer.mark_pending(config)
                         tasks[next_seq] = task
@@ -383,6 +390,8 @@ class Campaign:
             meta["n_retried"] = n_retried
         if self.journal is not None:
             meta["n_replayed"] = self.journal.n_replayed
+            if self.journal.topology_warning is not None:
+                meta["topology_warning"] = self.journal.topology_warning
         if self.cache is not None:
             meta["n_cached"] = n_cached
         if telem.enabled:

@@ -105,7 +105,9 @@ def table_to_dict(table: ResultsTable) -> dict[str, Any]:
 
 
 #: extras keys that vary run-to-run without changing the decision
-_VOLATILE_EXTRAS = ("telemetry", "traceback")
+#: ("attempts": how often a trial ran before succeeding depends on which
+#: worker crashed when, not on the decisions the table encodes)
+_VOLATILE_EXTRAS = ("telemetry", "traceback", "attempts")
 
 
 def table_fingerprint(table: ResultsTable) -> str:

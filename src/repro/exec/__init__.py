@@ -31,6 +31,7 @@ from .executors import (
     SerialExecutor,
     ThreadExecutor,
     make_executor,
+    register_executor,
 )
 from .journal import CampaignJournal, JournalMismatch
 from .payload import OUTCOME_STATUSES, TrialOutcome, TrialTask, execute_trial
@@ -43,6 +44,7 @@ __all__ = [
     "ProcessExecutor",
     "EXECUTORS",
     "make_executor",
+    "register_executor",
     "TrialTask",
     "TrialOutcome",
     "OUTCOME_STATUSES",

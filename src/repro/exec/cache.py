@@ -97,6 +97,7 @@ class TrialCache:
         self.path = None if path is None else os.fspath(path)
         self.code_tag = code_tag if code_tag is not None else code_version_tag()
         self._memory: dict[str, dict[str, Any]] = {}
+        self._outcomes: dict[str, dict[str, Any]] = {}
         self.hits = 0
         self.misses = 0
         if self.path is not None:
@@ -186,6 +187,82 @@ class TrialCache:
                 os.fsync(handle.fileno())
             os.replace(tmp, target)
         return True
+
+    # ------------------------------------------------- worker-side outcomes
+    # Remote workers cannot build a TrialResult (the MetricSet lives with
+    # the coordinator), so they memoize at the *outcome* level instead:
+    # raw measurements + learning-curve checkpoints, keyed by the very
+    # same content address. Entries live next to the result-level ones
+    # (``<key>.outcome.json``) and carry the same code tag guard.
+
+    def store_outcome(
+        self, key: str, outcome: Any, config: Any, seed: int
+    ) -> bool:
+        """Record one completed outcome under its content address."""
+        if getattr(outcome, "status", None) != "completed":
+            return False
+        entry = {
+            "format_version": 1,
+            "key": key,
+            "code": self.code_tag,
+            "seed": int(seed),
+            "config": {k: repr(v) for k, v in sorted(config.as_dict().items())},
+            "measurements": dict(outcome.measurements),
+            "checkpoints": [[int(s), float(v)] for s, v in outcome.checkpoints],
+            "duration_s": float(outcome.duration_s),
+        }
+        try:
+            blob = json.dumps(entry)
+        except (TypeError, ValueError):
+            return False  # non-JSON measurement values: not cacheable
+        self._outcomes[key] = entry
+        if self.path is not None:
+            target = os.path.join(self.path, f"{key}.outcome.json")
+            tmp = f"{target}.tmp.{os.getpid()}"
+            with open(tmp, "w", encoding="utf-8") as handle:
+                handle.write(blob)
+                handle.flush()
+                os.fsync(handle.fileno())
+            os.replace(tmp, target)
+        return True
+
+    def lookup_outcome(
+        self, key: str, config: Any, seed: int
+    ) -> tuple[dict[str, Any], list[tuple[int, float]], float] | None:
+        """The cached (measurements, checkpoints, duration) for ``key``.
+
+        Like :meth:`lookup`, the stored configuration values and seed are
+        re-validated so a digest collision can never replay the wrong
+        trial.
+        """
+        entry = self._outcomes.get(key)
+        if entry is None and self.path is not None:
+            entry = self._read_outcome_disk(key)
+            if entry is not None:
+                self._outcomes[key] = entry
+        if entry is None:
+            self.misses += 1
+            return None
+        stored_config = {k: repr(v) for k, v in sorted(config.as_dict().items())}
+        if entry.get("config") != stored_config or int(entry["seed"]) != int(seed):
+            self.misses += 1
+            return None
+        self.hits += 1
+        checkpoints = [(int(s), float(v)) for s, v in entry.get("checkpoints", [])]
+        return dict(entry["measurements"]), checkpoints, float(entry["duration_s"])
+
+    def _read_outcome_disk(self, key: str) -> dict[str, Any] | None:
+        if self.path is None:
+            return None
+        target = os.path.join(self.path, f"{key}.outcome.json")
+        try:
+            with open(target, encoding="utf-8") as handle:
+                entry = json.load(handle)
+        except (OSError, json.JSONDecodeError):
+            return None
+        if entry.get("key") != key or entry.get("code") != self.code_tag:
+            return None
+        return entry
 
     # ------------------------------------------------------------ internals
     def _read_disk(self, key: str) -> dict[str, Any] | None:

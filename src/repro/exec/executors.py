@@ -46,6 +46,7 @@ __all__ = [
     "ProcessExecutor",
     "EXECUTORS",
     "make_executor",
+    "register_executor",
 ]
 
 
@@ -347,16 +348,37 @@ EXECUTORS: dict[str, type[Executor]] = {
     "process": ProcessExecutor,
 }
 
+#: names resolvable by make_executor without importing them up front;
+#: name -> module whose import registers the executor
+LAZY_EXECUTORS: dict[str, str] = {
+    "remote": "repro.net",
+}
+
+
+def register_executor(name: str, cls: type[Executor]) -> None:
+    """Add an executor class to the :data:`EXECUTORS` registry.
+
+    Optional backends (``repro.net``'s ``"remote"``) register themselves
+    at import time instead of being hard-wired here, so the core exec
+    layer never depends on them.
+    """
+    EXECUTORS[name] = cls
+
 
 def make_executor(
     kind: str, max_workers: int | None = None, **kwargs: Any
 ) -> Executor:
-    """Build an executor by name (``serial`` / ``thread`` / ``process``)."""
+    """Build an executor by name (``serial``/``thread``/``process``/``remote``)."""
+    if kind not in EXECUTORS and kind in LAZY_EXECUTORS:
+        import importlib
+
+        importlib.import_module(LAZY_EXECUTORS[kind])
     try:
         cls = EXECUTORS[kind]
     except KeyError:
         raise ValueError(
-            f"unknown executor {kind!r}; available: {sorted(EXECUTORS)}"
+            f"unknown executor {kind!r}; available: "
+            f"{sorted(set(EXECUTORS) | set(LAZY_EXECUTORS))}"
         ) from None
     if max_workers is None:
         return cls(**kwargs)

@@ -29,6 +29,7 @@ from __future__ import annotations
 
 import json
 import os
+import warnings
 from typing import Any
 
 __all__ = ["CampaignJournal", "JournalMismatch"]
@@ -69,6 +70,8 @@ class CampaignJournal:
         #: trial_id -> (trial dict, checkpoints)
         self._entries: dict[int, dict[str, Any]] = {}
         self.n_replayed = 0
+        #: set when a resume runs under a different executor topology
+        self.topology_warning: str | None = None
         if resume:
             if not os.path.exists(self.path):
                 raise FileNotFoundError(
@@ -121,13 +124,25 @@ class CampaignJournal:
         return len(self._entries)
 
     # ------------------------------------------------------------ lifecycle
-    def open(self, identity: dict[str, Any]) -> None:
-        """Start writing: verify identity on resume, else write header."""
+    def open(
+        self, identity: dict[str, Any], topology: dict[str, Any] | None = None
+    ) -> None:
+        """Start writing: verify identity on resume, else write header.
+
+        ``topology`` records the execution backend (executor kind +
+        worker count). Unlike the identity fields it does **not** gate
+        the resume — commit order makes results topology-independent —
+        but a mismatch is *warned* about, because wall-times and worker
+        attributions in the merged telemetry will differ from the
+        original run's.
+        """
         identity = {
             "type": "campaign",
             "format_version": _FORMAT_VERSION,
             **identity,
         }
+        if topology is not None:
+            identity["topology"] = dict(topology)
         if self._header is not None:
             version = self._header.get("format_version")
             if version != _FORMAT_VERSION:
@@ -142,6 +157,20 @@ class CampaignJournal:
                         f"campaign: {field}={self._header.get(field)!r} on disk "
                         f"vs {identity.get(field)!r} now"
                     )
+            recorded = self._header.get("topology")
+            if (
+                topology is not None
+                and recorded is not None
+                and recorded != identity["topology"]
+            ):
+                self.topology_warning = (
+                    f"journal {self.path!r} was written under topology "
+                    f"{recorded!r} but is being resumed under "
+                    f"{identity['topology']!r}; results are unaffected "
+                    "(commit order is topology-independent) but telemetry "
+                    "timings and worker lanes will differ"
+                )
+                warnings.warn(self.topology_warning, stacklevel=2)
         # the handle outlives this call on purpose: one append stream per
         # campaign, flushed per record and closed in close()
         self._handle = open(self.path, "a", encoding="utf-8")  # noqa: SIM115

@@ -80,6 +80,10 @@ class TrialTask:
     timeout_s: float | None = None
     #: pid of the submitting process, for worker attribution
     origin_pid: int = field(default_factory=os.getpid)
+    #: content address of this trial in the shared TrialCache (set by the
+    #: campaign on cache misses); remote workers use it to answer warm
+    #: trials locally instead of re-running env steps
+    cache_key: str | None = None
 
     def retry(self) -> "TrialTask":
         """The same task, one attempt later."""

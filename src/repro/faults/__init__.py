@@ -10,6 +10,7 @@ summarised in :class:`FaultStats` and turned into resilience metrics
 framework back-ends.
 """
 
+from .chaos import WorkerKiller
 from .plan import (
     PLAN_FORMAT_VERSION,
     FaultPlan,
@@ -41,4 +42,5 @@ __all__ = [
     "ReDispatchRecovery",
     "FaultSchedule",
     "FaultStats",
+    "WorkerKiller",
 ]

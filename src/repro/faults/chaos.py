@@ -1,0 +1,75 @@
+"""Real-process chaos: kill an actual worker mid-campaign.
+
+The rest of :mod:`repro.faults` injects faults into the *virtual*
+cluster; this module injects them into the real one. A
+:class:`WorkerKiller` plugs into the campaign's progress callback and
+``SIGKILL``\\ s a live worker process after a set number of committed
+trials — the genuine article the simulated :class:`~repro.faults.plan.NodeCrash`
+models. The distributed layer must then notice the death via missed
+heartbeats and requeue the in-flight trials, and the resulting table
+must fingerprint identically to an undisturbed run; the chaos tests and
+the CI ``distributed-smoke`` job assert exactly that.
+
+Determinism note: triggering is tied to committed-trial *count*, never
+to elapsed time — this package is hashed into trial cache keys, and a
+count is reproducible where a clock is not.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+from typing import Any, Callable
+
+__all__ = ["WorkerKiller"]
+
+
+class WorkerKiller:
+    """Kills one real worker process after ``after_trials`` commits.
+
+    Parameters
+    ----------
+    victim:
+        The pid to kill, or a zero-argument callable resolving to a pid
+        at trigger time (``None`` from the callable skips the kill —
+        e.g. the fleet already shrank). A callable lets tests target
+        "whichever worker is currently connected".
+    after_trials:
+        Fire once the campaign has committed this many trials. The
+        count-based trigger keeps chaos reproducible: the same campaign
+        kills at the same point every run.
+    sig:
+        Signal to deliver; defaults to ``SIGKILL`` (no cleanup, no
+        goodbye — the worker just vanishes, exactly like an OOM kill).
+
+    Use as ``campaign.run(progress=killer.progress)``; ``killed`` holds
+    the pids actually signalled.
+    """
+
+    def __init__(
+        self,
+        victim: int | Callable[[], int | None],
+        after_trials: int = 2,
+        sig: int = signal.SIGKILL,
+    ) -> None:
+        if after_trials < 1:
+            raise ValueError("after_trials must be >= 1")
+        self._victim = victim
+        self.after_trials = int(after_trials)
+        self.sig = int(sig)
+        self.fired = False
+        self.killed: list[int] = []
+
+    def progress(self, trial: Any, n_done: int) -> None:
+        """Campaign progress hook: fire once the count is reached."""
+        if self.fired or n_done < self.after_trials:
+            return
+        self.fired = True
+        pid = self._victim() if callable(self._victim) else self._victim
+        if pid is None:
+            return
+        try:
+            os.kill(int(pid), self.sig)
+        except (ProcessLookupError, PermissionError):
+            return  # already gone (or not ours): nothing left to chaos
+        self.killed.append(int(pid))

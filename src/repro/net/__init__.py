@@ -1,0 +1,47 @@
+"""Distributed trial execution over TCP.
+
+The coordinator (:class:`RemoteExecutor`) plugs into the campaign like
+any other :class:`~repro.exec.Executor`; worker agents
+(:class:`WorkerAgent`, ``repro worker --connect HOST:PORT``) dial in,
+pass a protocol/code-version handshake, and pull trials over
+length-prefixed JSON frames. See :mod:`repro.net.protocol` for the wire
+format and ``docs/architecture.md`` ("Distributed execution") for the
+full semantics.
+
+Importing this package registers the ``"remote"`` executor in
+:data:`repro.exec.EXECUTORS` (``make_executor("remote")`` imports it
+lazily, so the core never pays for the network stack it does not use).
+"""
+
+from __future__ import annotations
+
+from ..exec.executors import register_executor
+from .coordinator import RemoteExecutor
+from .protocol import (
+    MAX_FRAME_BYTES,
+    PROTOCOL_VERSION,
+    ConnectionClosed,
+    HandshakeRejected,
+    ProtocolError,
+    decode_payload,
+    encode_payload,
+    recv_frame,
+    send_frame,
+)
+from .worker import WorkerAgent
+
+__all__ = [
+    "RemoteExecutor",
+    "WorkerAgent",
+    "PROTOCOL_VERSION",
+    "MAX_FRAME_BYTES",
+    "ProtocolError",
+    "ConnectionClosed",
+    "HandshakeRejected",
+    "send_frame",
+    "recv_frame",
+    "encode_payload",
+    "decode_payload",
+]
+
+register_executor("remote", RemoteExecutor)

@@ -1,0 +1,438 @@
+"""The coordinator side of distributed execution: :class:`RemoteExecutor`.
+
+``RemoteExecutor`` is a drop-in :class:`~repro.exec.Executor`: the
+campaign keeps submission-order commit, retries and journaling exactly
+as with the thread/process backends, so ``table_fingerprint`` stays
+byte-identical — the network is invisible to the decision layer.
+
+What it adds over the process executor:
+
+* **work stealing** — submitted tasks queue centrally and drain to
+  whichever connected worker has a free slot, so a slow host never
+  blocks a fast one;
+* **heartbeat-based death detection** — a worker that stops beating (or
+  whose connection drops) is reaped, and its in-flight trials come back
+  as ``crashed`` outcomes, which the campaign's existing
+  :class:`~repro.exec.RetryPolicy` requeues onto surviving workers;
+* **handshake version guard** — a worker whose source tree hashes to a
+  different :func:`~repro.exec.cache.code_version_tag` is rejected at
+  hello time, because mixing code versions inside one campaign would
+  poison the results table silently.
+
+Observability: worker joins/losses are telemetry events
+(``worker_joined`` / ``worker_lost``), and the ``net/workers``,
+``net/queue_depth``, ``net/heartbeats`` and ``net/worker_deaths``
+meters track the fleet. Per-worker Perfetto lanes come for free: each
+outcome carries its worker's name and clock offset, and the campaign's
+existing ``merge_records`` re-bases them at commit.
+"""
+
+from __future__ import annotations
+
+import collections
+import socket
+import threading
+import time
+from dataclasses import dataclass, field, replace
+from typing import Any
+
+from ..exec.cache import code_version_tag
+from ..exec.executors import Executor
+from ..exec.payload import TrialOutcome, TrialTask
+from ..obs import EVT_WORKER_JOINED, EVT_WORKER_LOST, Telemetry
+from .protocol import (
+    PROTOCOL_VERSION,
+    ConnectionClosed,
+    ProtocolError,
+    decode_payload,
+    encode_payload,
+    recv_frame,
+    send_frame,
+)
+
+__all__ = ["RemoteExecutor"]
+
+
+@dataclass
+class _Worker:
+    """One connected worker agent, as the coordinator sees it."""
+
+    name: str
+    sock: socket.socket
+    slots: int
+    pid: int | None = None
+    inflight: set[int] = field(default_factory=set)
+    last_seen: float = field(default_factory=time.monotonic)
+    alive: bool = True
+
+
+class RemoteExecutor(Executor):
+    """Dispatches trials to worker agents over TCP.
+
+    Parameters
+    ----------
+    max_workers:
+        The campaign's ask-window size (how many proposals may be in
+        flight); usually the total slot count of the expected fleet.
+    host, port:
+        Listen address. ``port=0`` picks a free port — read it back
+        from :attr:`address` (the loopback tests and the CLI do).
+    heartbeat_timeout:
+        Seconds of silence after which a worker is declared dead and
+        its trials requeued. Workers are told to beat at a quarter of
+        this interval.
+    code_tag:
+        Override of :func:`~repro.exec.cache.code_version_tag` for the
+        handshake check (tests use this to simulate version skew).
+    telemetry:
+        Optional :class:`~repro.obs.Telemetry` for fleet events/meters.
+    """
+
+    name = "remote"
+    in_process = False
+    shares_telemetry = False
+
+    def __init__(
+        self,
+        max_workers: int = 2,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        heartbeat_timeout: float = 10.0,
+        handshake_timeout: float = 5.0,
+        code_tag: str | None = None,
+        telemetry: Telemetry | None = None,
+    ) -> None:
+        super().__init__(max_workers)
+        self.heartbeat_timeout = float(heartbeat_timeout)
+        self.handshake_timeout = float(handshake_timeout)
+        self.code_tag = code_tag if code_tag is not None else code_version_tag()
+        self._telem = Telemetry.or_null(telemetry)
+        # RLock: reap/dispatch nest (a failed send mid-dispatch reaps)
+        self._lock = threading.RLock()
+        self._cond = threading.Condition(self._lock)
+        self._workers: dict[str, _Worker] = {}
+        self._pending: collections.deque[int] = collections.deque()
+        self._tasks: dict[int, TrialTask] = {}
+        self._assigned: dict[int, str] = {}
+        self._done: list[TrialOutcome] = []
+        self._closing = False
+        self._n_joined = 0
+        listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        listener.bind((host, int(port)))
+        listener.listen()
+        self._listener = listener
+        self._accept_thread = threading.Thread(
+            target=self._accept_loop, name="net-accept", daemon=True
+        )
+        self._accept_thread.start()
+
+    # ------------------------------------------------------------- address
+    @property
+    def address(self) -> tuple[str, int]:
+        """The (host, port) workers should ``--connect`` to."""
+        host, port = self._listener.getsockname()[:2]
+        return str(host), int(port)
+
+    @property
+    def n_workers(self) -> int:
+        with self._lock:
+            return len(self._workers)
+
+    def wait_for_workers(self, count: int, timeout: float = 30.0) -> int:
+        """Block until ``count`` workers are connected (or raise)."""
+        deadline = time.monotonic() + timeout
+        with self._cond:
+            while len(self._workers) < count:
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    raise TimeoutError(
+                        f"only {len(self._workers)}/{count} workers connected "
+                        f"within {timeout:.0f}s"
+                    )
+                self._cond.wait(min(remaining, 0.5))
+            return len(self._workers)
+
+    # ------------------------------------------------------------ contract
+    def submit(self, task: TrialTask) -> None:
+        with self._cond:
+            if self._closing:
+                raise RuntimeError("executor is shut down")
+            self._tasks[task.seq] = task
+            self._pending.append(task.seq)
+            self._dispatch_locked()
+            self._update_meters_locked()
+
+    def poll(self, timeout: float | None = None) -> list[TrialOutcome]:
+        with self._cond:
+            if not self._done:
+                if not (self._pending or self._assigned):
+                    return []
+                if timeout is None:
+                    while not self._done and not self._closing and (
+                        self._pending or self._assigned
+                    ):
+                        self._cond.wait(0.5)
+                else:
+                    deadline = time.monotonic() + timeout
+                    while not self._done:
+                        remaining = deadline - time.monotonic()
+                        if remaining <= 0:
+                            break
+                        self._cond.wait(remaining)
+            out, self._done = self._done, []
+            return out
+
+    @property
+    def n_inflight(self) -> int:
+        with self._lock:
+            return len(self._pending) + len(self._assigned) + len(self._done)
+
+    def shutdown(self) -> None:
+        with self._cond:
+            if self._closing:
+                return
+            self._closing = True
+            workers = list(self._workers.values())
+            self._workers.clear()
+            self._pending.clear()
+            self._assigned.clear()
+            self._tasks.clear()
+            self._cond.notify_all()
+        for worker in workers:
+            worker.alive = False
+            try:
+                send_frame(worker.sock, {"type": "shutdown"})
+            except (OSError, ProtocolError):
+                pass  # already gone; closing below is all that is left
+            try:
+                worker.sock.close()
+            except OSError:  # pragma: no cover - close on a dead socket
+                pass
+        try:
+            self._listener.close()
+        except OSError:  # pragma: no cover - double close
+            pass
+        self._accept_thread.join(timeout=2.0)
+
+    # ----------------------------------------------------------- accepting
+    def _accept_loop(self) -> None:
+        while not self._closing:
+            try:
+                self._listener.settimeout(1.0)
+                sock, addr = self._listener.accept()
+            except socket.timeout:
+                continue
+            except OSError:
+                return  # listener closed by shutdown()
+            threading.Thread(
+                target=self._serve,
+                args=(sock, (str(addr[0]), int(addr[1]))),
+                name=f"net-worker-{addr[0]}:{addr[1]}",
+                daemon=True,
+            ).start()
+
+    def _serve(self, sock: socket.socket, addr: tuple[str, int]) -> None:
+        try:
+            worker = self._handshake(sock, addr)
+        except (ProtocolError, OSError):
+            sock.close()
+            return
+        if worker is None:
+            sock.close()
+            return
+        self._reader_loop(worker)
+
+    def _handshake(
+        self, sock: socket.socket, addr: tuple[str, int]
+    ) -> _Worker | None:
+        hello = recv_frame(sock, timeout=self.handshake_timeout)
+        if hello is None or hello.get("type") != "hello":
+            raise ProtocolError("expected a hello frame")
+        version = hello.get("version")
+        tag = hello.get("code_tag")
+        if version != PROTOCOL_VERSION:
+            reason = (
+                f"protocol version mismatch: worker speaks {version!r}, "
+                f"coordinator speaks {PROTOCOL_VERSION}"
+            )
+        elif tag != self.code_tag:
+            reason = (
+                f"code version skew: worker runs {tag!r}, coordinator runs "
+                f"{self.code_tag!r} — update the worker's source tree"
+            )
+        else:
+            reason = None
+        if reason is not None:
+            send_frame(sock, {"type": "reject", "reason": reason})
+            return None
+        slots = max(1, int(hello.get("slots", 1)))
+        base = str(hello.get("name") or f"{addr[0]}:{addr[1]}")
+        with self._cond:
+            if self._closing:
+                return None
+            self._n_joined += 1
+            name = base if base not in self._workers else f"{base}#{self._n_joined}"
+            worker = _Worker(name=name, sock=sock, slots=slots, pid=hello.get("pid"))
+            self._workers[name] = worker
+            send_frame(
+                sock,
+                {
+                    "type": "welcome",
+                    "name": name,
+                    "heartbeat_interval": self.heartbeat_timeout / 4.0,
+                },
+            )
+            self._telem.event(
+                EVT_WORKER_JOINED,
+                worker=name,
+                slots=slots,
+                addr=f"{addr[0]}:{addr[1]}",
+            )
+            self._dispatch_locked()
+            self._update_meters_locked()
+            self._cond.notify_all()
+        return worker
+
+    # ------------------------------------------------------------- reading
+    def _reader_loop(self, worker: _Worker) -> None:
+        idle = max(0.05, min(1.0, self.heartbeat_timeout / 4.0))
+        while True:
+            with self._lock:
+                if self._closing or not worker.alive:
+                    return
+            try:
+                frame = recv_frame(worker.sock, timeout=idle)
+            except (ProtocolError, OSError) as exc:
+                reason = (
+                    "connection closed"
+                    if isinstance(exc, ConnectionClosed)
+                    else f"connection lost: {exc}"
+                )
+                self._reap(worker, reason)
+                return
+            now = time.monotonic()
+            if frame is None:
+                if now - worker.last_seen > self.heartbeat_timeout:
+                    self._reap(
+                        worker,
+                        f"no heartbeat for {self.heartbeat_timeout:.1f}s",
+                    )
+                    return
+                continue
+            worker.last_seen = now
+            kind = frame.get("type")
+            if kind == "heartbeat":
+                if self._telem.enabled:
+                    self._telem.meters.counter("net/heartbeats").inc()
+            elif kind == "outcome":
+                self._on_outcome(worker, frame)
+            # unknown frame types are ignored for forward compatibility
+
+    def _on_outcome(self, worker: _Worker, frame: dict[str, Any]) -> None:
+        try:
+            outcome: TrialOutcome = decode_payload(frame["payload"])
+        except Exception as exc:  # noqa: BLE001 - any unpickle failure
+            self._reap(worker, f"undecodable outcome: {exc!r}")
+            return
+        with self._cond:
+            seq = outcome.seq
+            worker.inflight.discard(seq)
+            task = self._tasks.get(seq)
+            if (
+                task is None
+                or self._assigned.get(seq) != worker.name
+                or outcome.attempt != task.attempt
+            ):
+                # a stale report: the task was requeued elsewhere after
+                # this worker was presumed dead, or a superseded attempt
+                self._dispatch_locked()
+                return
+            del self._assigned[seq]
+            del self._tasks[seq]
+            self._done.append(outcome)
+            self._dispatch_locked()
+            self._update_meters_locked()
+            self._cond.notify_all()
+
+    # ----------------------------------------------------------- dispatch
+    def _dispatch_locked(self) -> None:
+        """Drain pending tasks onto free worker slots (lock held)."""
+        progress = True
+        while self._pending and progress:
+            progress = False
+            for worker in list(self._workers.values()):
+                if not self._pending:
+                    break
+                if not worker.alive or len(worker.inflight) >= worker.slots:
+                    continue
+                seq = self._pending.popleft()
+                task = self._tasks.get(seq)
+                if task is None:  # pragma: no cover - cancelled while queued
+                    continue
+                frame = {
+                    "type": "task",
+                    "seq": seq,
+                    "attempt": task.attempt,
+                    "payload": encode_payload(replace(task, telemetry=None)),
+                }
+                try:
+                    send_frame(worker.sock, frame)
+                except (OSError, ProtocolError) as exc:
+                    # never burned an attempt: the task provably did not
+                    # reach the worker, so it goes straight back in line
+                    self._pending.appendleft(seq)
+                    self._reap(worker, f"send failed: {exc}")
+                    continue
+                worker.inflight.add(seq)
+                self._assigned[seq] = worker.name
+                progress = True
+
+    def _reap(self, worker: _Worker, reason: str) -> None:
+        """Declare a worker dead and requeue its trials as crashes."""
+        with self._cond:
+            if not worker.alive:
+                return
+            worker.alive = False
+            self._workers.pop(worker.name, None)
+            try:
+                worker.sock.close()
+            except OSError:  # pragma: no cover - already closed
+                pass
+            for seq in sorted(worker.inflight):
+                task = self._tasks.get(seq)
+                if task is None or self._assigned.get(seq) != worker.name:
+                    continue
+                del self._assigned[seq]
+                del self._tasks[seq]
+                self._done.append(
+                    TrialOutcome(
+                        seq=seq,
+                        trial_id=task.config.trial_id,
+                        attempt=task.attempt,
+                        status="crashed",
+                        error=f"worker {worker.name!r} lost: {reason}",
+                        worker=worker.name,
+                    )
+                )
+            worker.inflight.clear()
+            self._telem.event(EVT_WORKER_LOST, worker=worker.name, reason=reason)
+            if self._telem.enabled:
+                self._telem.meters.counter("net/worker_deaths").inc()
+            self._dispatch_locked()
+            self._update_meters_locked()
+            self._cond.notify_all()
+
+    def _update_meters_locked(self) -> None:
+        if self._telem.enabled:
+            self._telem.meters.gauge("net/workers").set(float(len(self._workers)))
+            self._telem.meters.gauge("net/queue_depth").set(
+                float(len(self._pending))
+            )
+
+    def __repr__(self) -> str:
+        host, port = self.address
+        return (
+            f"RemoteExecutor({host}:{port}, max_workers={self.max_workers}, "
+            f"workers={self.n_workers})"
+        )

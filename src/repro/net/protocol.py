@@ -1,0 +1,143 @@
+"""The wire protocol: length-prefixed JSON frames over TCP.
+
+Every message between a coordinator and a worker is one *frame*: a
+4-byte big-endian length followed by that many bytes of UTF-8 JSON.
+JSON keeps the control plane inspectable (``tcpdump`` + eyeballs is a
+valid debugger); the one opaque field is ``payload``, a base64-wrapped
+pickle of the spawn-safe :class:`~repro.exec.payload.TrialTask` /
+:class:`~repro.exec.payload.TrialOutcome` — exactly the objects the
+process executor already ships over its pipes, so anything that can
+cross a process boundary can cross a host boundary.
+
+Frame types
+-----------
+
+``hello``     worker → coordinator: identity + ``code_tag`` + slots
+``welcome``   coordinator → worker: handshake accepted
+``reject``    coordinator → worker: handshake refused (version/tag skew)
+``task``      coordinator → worker: one pickled TrialTask to evaluate
+``outcome``   worker → coordinator: the pickled TrialOutcome
+``heartbeat`` worker → coordinator: liveness beacon (also sent mid-trial)
+``shutdown``  coordinator → worker: drain and exit
+
+No-hang discipline: every blocking socket operation in this package
+arms an explicit timeout first (machine-enforced by lint rule RPR007),
+so a dead peer surfaces as a timeout/'connection closed' outcome rather
+than a hung campaign.
+"""
+
+from __future__ import annotations
+
+import base64
+import json
+import pickle
+import socket
+import struct
+from typing import Any
+
+__all__ = [
+    "PROTOCOL_VERSION",
+    "MAX_FRAME_BYTES",
+    "ProtocolError",
+    "ConnectionClosed",
+    "HandshakeRejected",
+    "send_frame",
+    "recv_frame",
+    "encode_payload",
+    "decode_payload",
+]
+
+#: bumped on any incompatible frame-format change; checked in the handshake
+PROTOCOL_VERSION = 1
+
+#: hard ceiling on one frame body — a corrupt length prefix must not
+#: make the receiver try to allocate gigabytes
+MAX_FRAME_BYTES = 64 * 1024 * 1024
+
+_LEN = struct.Struct(">I")
+
+
+class ProtocolError(RuntimeError):
+    """The byte stream does not parse as the repro.net protocol."""
+
+
+class ConnectionClosed(ProtocolError):
+    """The peer closed the connection (EOF mid-stream)."""
+
+
+class HandshakeRejected(ProtocolError):
+    """The coordinator refused this worker (version or code-tag skew)."""
+
+
+def send_frame(sock: socket.socket, frame: dict[str, Any]) -> None:
+    """Serialize one frame and write it fully.
+
+    Caller owns write-side locking when several threads share the
+    socket (the worker's heartbeat thread does).
+    """
+    body = json.dumps(frame, sort_keys=True).encode("utf-8")
+    if len(body) > MAX_FRAME_BYTES:
+        raise ProtocolError(
+            f"frame of {len(body)} bytes exceeds MAX_FRAME_BYTES ({MAX_FRAME_BYTES})"
+        )
+    sock.sendall(_LEN.pack(len(body)) + body)
+
+
+def recv_frame(
+    sock: socket.socket, timeout: float = 10.0
+) -> dict[str, Any] | None:
+    """Read one complete frame, or ``None`` if nothing arrived in time.
+
+    A timeout *between* frames is normal (returns ``None``); a timeout
+    in the middle of a frame means the peer wedged mid-write and raises
+    :class:`ProtocolError`. EOF raises :class:`ConnectionClosed`.
+    """
+    sock.settimeout(timeout)
+    try:
+        prefix = _recv_exact(sock, _LEN.size)
+    except socket.timeout:
+        return None
+    (length,) = _LEN.unpack(prefix)
+    if length > MAX_FRAME_BYTES:
+        raise ProtocolError(
+            f"peer announced a {length}-byte frame (max {MAX_FRAME_BYTES}); "
+            "stream is corrupt or not speaking the repro.net protocol"
+        )
+    try:
+        body = _recv_exact(sock, length)
+    except socket.timeout:
+        raise ProtocolError(
+            f"peer stalled mid-frame ({length} bytes announced)"
+        ) from None
+    try:
+        frame = json.loads(body.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise ProtocolError(f"frame body is not valid JSON: {exc}") from None
+    if not isinstance(frame, dict) or "type" not in frame:
+        raise ProtocolError("frame is not an object with a 'type' field")
+    return frame
+
+
+def _recv_exact(sock: socket.socket, n: int) -> bytes:
+    """Exactly ``n`` bytes from a socket whose timeout is already armed."""
+    sock.settimeout(sock.gettimeout())  # keep the timeout armed per chunk
+    chunks: list[bytes] = []
+    remaining = n
+    while remaining:
+        chunk = sock.recv(min(remaining, 1 << 20))
+        if not chunk:
+            raise ConnectionClosed("peer closed the connection")
+        chunks.append(chunk)
+        remaining -= len(chunk)
+    return b"".join(chunks)
+
+
+# ------------------------------------------------------------ payloads
+def encode_payload(obj: Any) -> str:
+    """Pickle an object into a JSON-safe base64 string."""
+    return base64.b64encode(pickle.dumps(obj)).decode("ascii")
+
+
+def decode_payload(text: str) -> Any:
+    """Inverse of :func:`encode_payload`."""
+    return pickle.loads(base64.b64decode(text.encode("ascii")))

@@ -1,0 +1,271 @@
+"""The worker side of distributed execution: :class:`WorkerAgent`.
+
+``repro worker --connect HOST:PORT`` runs one of these: dial the
+coordinator, introduce yourself (protocol version + code tag + slot
+count), then loop pulling tasks, executing them with the very same
+:func:`~repro.exec.payload.execute_trial` every other executor uses,
+and streaming outcomes back. A background thread beats a heartbeat so
+the coordinator can tell "slow" from "dead".
+
+Cache-aware execution: when the coordinator attached a content address
+(``TrialTask.cache_key``) and this worker was given a
+:class:`~repro.exec.TrialCache` directory shared across hosts, a warm
+trial is answered straight from the cache — no env steps run and
+nothing heavy crosses the wire. Keys are content-addressed (config,
+seed, space/fault-plan/code digests), so every host computes the same
+address for the same work.
+"""
+
+from __future__ import annotations
+
+import os
+import socket
+import sys
+import threading
+import time
+from typing import Any, Callable
+
+from ..exec.cache import TrialCache, code_version_tag
+from ..exec.payload import TrialOutcome, execute_trial
+from .protocol import (
+    PROTOCOL_VERSION,
+    ConnectionClosed,
+    HandshakeRejected,
+    ProtocolError,
+    recv_frame,
+    send_frame,
+    encode_payload,
+    decode_payload,
+)
+
+__all__ = ["WorkerAgent"]
+
+#: process exit codes the CLI maps onto
+EXIT_OK = 0
+EXIT_CONNECT_FAILED = 1
+EXIT_REJECTED = 2
+
+
+def _stderr_log(message: str) -> None:
+    print(message, file=sys.stderr, flush=True)
+
+
+class WorkerAgent:
+    """One worker process serving a coordinator.
+
+    Parameters
+    ----------
+    host, port:
+        The coordinator's listen address.
+    name:
+        Advertised identity (defaults to ``<hostname>-<pid>``); the
+        coordinator may suffix it to keep names unique, and the final
+        name labels this worker's telemetry lane.
+    slots:
+        Trials this agent runs concurrently. The default of 1 keeps a
+        worker a pure unit of parallelism; >1 threads within the agent.
+    cache:
+        A :class:`~repro.exec.TrialCache` (or directory path) shared
+        with the coordinator's, for answering warm trials locally.
+    code_tag:
+        Override of :func:`~repro.exec.cache.code_version_tag` (tests
+        use it to provoke handshake rejection).
+    """
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        name: str | None = None,
+        slots: int = 1,
+        cache: TrialCache | str | os.PathLike | None = None,
+        code_tag: str | None = None,
+        connect_timeout: float = 10.0,
+        idle_timeout: float = 0.5,
+        log: Callable[[str], None] = _stderr_log,
+    ) -> None:
+        if slots < 1:
+            raise ValueError("slots must be >= 1")
+        self.host = host
+        self.port = int(port)
+        self.name = name or f"{socket.gethostname()}-{os.getpid()}"
+        self.slots = int(slots)
+        if isinstance(cache, (str, os.PathLike)):
+            cache = TrialCache(cache, code_tag=code_tag)
+        self.cache = cache
+        self.code_tag = code_tag if code_tag is not None else code_version_tag()
+        self.connect_timeout = float(connect_timeout)
+        self.idle_timeout = float(idle_timeout)
+        self.log = log
+        self.n_executed = 0
+        self.n_cache_hits = 0
+
+    # ------------------------------------------------------------- running
+    def run(self) -> int:
+        """Serve until the coordinator says shutdown; returns exit code."""
+        try:
+            sock = socket.create_connection(
+                (self.host, self.port), timeout=self.connect_timeout
+            )
+        except OSError as exc:
+            self.log(f"worker: cannot reach {self.host}:{self.port} ({exc})")
+            return EXIT_CONNECT_FAILED
+        try:
+            interval = self._handshake(sock)
+        except HandshakeRejected as exc:
+            self.log(f"worker: rejected by coordinator: {exc}")
+            sock.close()
+            return EXIT_REJECTED
+        except (ProtocolError, OSError) as exc:
+            self.log(f"worker: handshake failed: {exc}")
+            sock.close()
+            return EXIT_CONNECT_FAILED
+        self.log(
+            f"worker {self.name!r}: connected to {self.host}:{self.port} "
+            f"({self.slots} slot{'s' if self.slots != 1 else ''})"
+        )
+        send_lock = threading.Lock()
+        stop = threading.Event()
+        beater = threading.Thread(
+            target=self._heartbeat_loop,
+            args=(sock, interval, stop, send_lock),
+            name="worker-heartbeat",
+            daemon=True,
+        )
+        beater.start()
+        try:
+            return self._serve_loop(sock, send_lock)
+        finally:
+            stop.set()
+            beater.join(timeout=2.0)
+            sock.close()
+
+    def _handshake(self, sock: socket.socket) -> float:
+        """Hello/welcome exchange; returns the heartbeat interval."""
+        send_frame(
+            sock,
+            {
+                "type": "hello",
+                "version": PROTOCOL_VERSION,
+                "code_tag": self.code_tag,
+                "name": self.name,
+                "slots": self.slots,
+                "pid": os.getpid(),
+            },
+        )
+        reply = recv_frame(sock, timeout=self.connect_timeout)
+        if reply is None:
+            raise ProtocolError("coordinator did not answer the hello")
+        if reply.get("type") == "reject":
+            raise HandshakeRejected(str(reply.get("reason", "unspecified")))
+        if reply.get("type") != "welcome":
+            raise ProtocolError(f"expected welcome, got {reply.get('type')!r}")
+        self.name = str(reply.get("name", self.name))
+        return max(0.05, float(reply.get("heartbeat_interval", 2.0)))
+
+    def _heartbeat_loop(
+        self,
+        sock: socket.socket,
+        interval: float,
+        stop: threading.Event,
+        send_lock: threading.Lock,
+    ) -> None:
+        while not stop.wait(interval):
+            try:
+                with send_lock:
+                    send_frame(sock, {"type": "heartbeat", "name": self.name})
+            except (OSError, ProtocolError):
+                return  # the serve loop will notice the dead socket too
+
+    def _serve_loop(self, sock: socket.socket, send_lock: threading.Lock) -> int:
+        pool: list[threading.Thread] = []
+        while True:
+            try:
+                frame = recv_frame(sock, timeout=self.idle_timeout)
+            except ConnectionClosed:
+                self.log(f"worker {self.name!r}: coordinator went away")
+                return EXIT_OK
+            except (ProtocolError, OSError) as exc:
+                self.log(f"worker {self.name!r}: protocol error: {exc}")
+                return EXIT_CONNECT_FAILED
+            if frame is None:
+                pool = [t for t in pool if t.is_alive()]
+                continue
+            kind = frame.get("type")
+            if kind == "shutdown":
+                self.log(
+                    f"worker {self.name!r}: shutting down "
+                    f"({self.n_executed} executed, {self.n_cache_hits} cache hits)"
+                )
+                for thread in pool:
+                    thread.join(timeout=5.0)
+                return EXIT_OK
+            if kind != "task":
+                continue  # forward compatibility: ignore unknown frames
+            if self.slots == 1:
+                self._run_task(sock, send_lock, frame)
+            else:
+                thread = threading.Thread(
+                    target=self._run_task,
+                    args=(sock, send_lock, frame),
+                    name=f"worker-slot-{len(pool)}",
+                    daemon=True,
+                )
+                thread.start()
+                pool.append(thread)
+
+    # ------------------------------------------------------------ executing
+    def _run_task(
+        self,
+        sock: socket.socket,
+        send_lock: threading.Lock,
+        frame: dict[str, Any],
+    ) -> None:
+        try:
+            task = decode_payload(frame["payload"])
+        except Exception as exc:  # noqa: BLE001 - any unpickle failure
+            self.log(f"worker {self.name!r}: undecodable task: {exc!r}")
+            return
+        outcome = self._cached_outcome(task)
+        if outcome is None:
+            outcome = execute_trial(task)
+            outcome.worker = self.name
+            self.n_executed += 1
+            key = getattr(task, "cache_key", None)
+            if key and self.cache is not None:
+                self.cache.store_outcome(key, outcome, task.config, task.seed)
+        try:
+            with send_lock:
+                send_frame(
+                    sock,
+                    {
+                        "type": "outcome",
+                        "seq": task.seq,
+                        "attempt": task.attempt,
+                        "payload": encode_payload(outcome),
+                    },
+                )
+        except (OSError, ProtocolError) as exc:
+            self.log(f"worker {self.name!r}: could not report outcome: {exc}")
+
+    def _cached_outcome(self, task: Any) -> TrialOutcome | None:
+        """A warm outcome from the shared trial cache, if available."""
+        key = getattr(task, "cache_key", None)
+        if not key or self.cache is None:
+            return None
+        hit = self.cache.lookup_outcome(key, task.config, task.seed)
+        if hit is None:
+            return None
+        measurements, checkpoints, duration_s = hit
+        self.n_cache_hits += 1
+        return TrialOutcome(
+            seq=task.seq,
+            trial_id=task.config.trial_id,
+            attempt=task.attempt,
+            status="completed",
+            measurements=measurements,
+            duration_s=duration_s,
+            checkpoints=checkpoints,
+            clock_offset=time.time() - time.perf_counter(),
+            worker=self.name,
+        )

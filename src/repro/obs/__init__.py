@@ -20,6 +20,8 @@ from .events import (
     EVT_TRIAL_CACHE_HIT,
     EVT_TRIAL_RETRIED,
     EVT_TRIAL_STARTED,
+    EVT_WORKER_JOINED,
+    EVT_WORKER_LOST,
     NULL_SINK,
     Event,
     JsonlSink,
@@ -59,6 +61,8 @@ __all__ = [
     "EVT_EXPLORER_ASK",
     "EVT_EXPLORER_TELL",
     "EVT_CHECKPOINT",
+    "EVT_WORKER_JOINED",
+    "EVT_WORKER_LOST",
     "Span",
     "SpanTracer",
     "NullTracer",

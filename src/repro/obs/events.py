@@ -41,6 +41,8 @@ __all__ = [
     "EVT_EXPLORER_ASK",
     "EVT_EXPLORER_TELL",
     "EVT_CHECKPOINT",
+    "EVT_WORKER_JOINED",
+    "EVT_WORKER_LOST",
     "Event",
     "Sink",
     "NullSink",
@@ -61,6 +63,8 @@ EVT_TRIAL_CACHE_HIT = "trial_cache_hit"
 EVT_EXPLORER_ASK = "explorer_ask"
 EVT_EXPLORER_TELL = "explorer_tell"
 EVT_CHECKPOINT = "checkpoint_reported"
+EVT_WORKER_JOINED = "worker_joined"
+EVT_WORKER_LOST = "worker_lost"
 
 
 @dataclass(frozen=True)

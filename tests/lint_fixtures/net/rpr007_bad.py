@@ -1,0 +1,30 @@
+"""RPR007 bad fixture: blocking socket calls with no timeout armed."""
+
+import socket
+
+
+def read_forever(sock):
+    return sock.recv(4096)  # finding: no settimeout in this function
+
+
+def accept_forever(listener):
+    conn, addr = listener.accept()  # finding: no settimeout in this function
+    return conn, addr
+
+
+def dial(host, port):
+    return socket.create_connection((host, port))  # finding: no timeout arg
+
+
+def outer_does_not_protect_inner(sock):
+    sock.settimeout(1.0)
+
+    def inner():
+        return sock.recv(1)  # finding: nested scope has no timeout of its own
+
+    return inner
+
+
+def disarmed(sock):
+    sock.settimeout(None)
+    return sock.recv(16)  # finding: settimeout(None) disarms, not arms

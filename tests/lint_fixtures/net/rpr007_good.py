@@ -1,0 +1,29 @@
+"""RPR007 good fixture: every blocking call has a timeout armed."""
+
+import socket
+
+
+def read_with_deadline(sock, timeout):
+    sock.settimeout(timeout)
+    return sock.recv(4096)
+
+
+def accept_with_deadline(listener):
+    listener.settimeout(1.0)
+    try:
+        return listener.accept()
+    except socket.timeout:
+        return None
+
+
+def dial(host, port):
+    return socket.create_connection((host, port), timeout=10.0)
+
+
+def dial_positional(host, port, timeout):
+    return socket.create_connection((host, port), timeout)
+
+
+def send_only(sock, data):
+    # sends are not in scope for RPR007 (covered by the protocol's framing)
+    sock.sendall(data)

@@ -170,13 +170,25 @@ class TestRetryPolicy:
 # ------------------------------------------------------------- executors
 class TestExecutorRegistry:
     def test_registry_and_factory(self):
-        assert set(EXECUTORS) == {"serial", "thread", "process"}
+        # "remote" registers lazily when repro.net first imports, so the
+        # built-ins are a floor, not the whole set
+        assert {"serial", "thread", "process"} <= set(EXECUTORS)
+        assert set(EXECUTORS) <= {"serial", "thread", "process", "remote"}
         assert isinstance(make_executor("serial"), SerialExecutor)
         assert make_executor("thread", 2).max_workers == 2
         with pytest.raises(ValueError):
             make_executor("cluster")
         with pytest.raises(ValueError):
             ThreadExecutor(max_workers=0)
+
+    def test_remote_registers_lazily_through_factory(self):
+        executor = make_executor("remote", 2)
+        try:
+            assert executor.name == "remote"
+            assert executor.max_workers == 2
+            assert "remote" in EXECUTORS
+        finally:
+            executor.shutdown()
 
     def test_serial_pins_max_workers_to_one(self):
         assert SerialExecutor(max_workers=8).max_workers == 1

@@ -48,6 +48,7 @@ BAD_EXPECTATIONS = [
     ("airdrop/rpr004_bad.py", "RPR004", 1),
     ("exec/rpr005_bad.py", "RPR005", 2),
     ("exec/rpr000_bad.py", "RPR000", 1),
+    ("net/rpr007_bad.py", "RPR007", 5),
 ]
 
 
@@ -68,6 +69,7 @@ def test_rule_fires_on_bad_fixture(relative, rule_id, n_expected):
         "core/rpr003_good.py",
         "airdrop/rpr004_good.py",
         "exec/rpr005_good.py",
+        "net/rpr007_good.py",
         "other/scoped_silent.py",
     ],
 )
