@@ -159,8 +159,10 @@ def _add_campaign_parser(subparsers) -> None:
         type=float,
         default=None,
         metavar="SECONDS",
-        help="per-trial deadline (thread/process executors only)",
+        help="per-trial deadline (thread/process/remote executors; remote "
+        "workers enforce it and report overruns as retryable timeouts)",
     )
+    _add_secret_argument(p)
     p.add_argument(
         "--retries",
         type=int,
@@ -250,6 +252,20 @@ def _add_worker_parser(subparsers) -> None:
         "--no-cache",
         action="store_true",
         help="disable the trial cache entirely (neither read nor write)",
+    )
+    _add_secret_argument(p)
+
+
+def _add_secret_argument(p) -> None:
+    p.add_argument(
+        "--secret",
+        type=str,
+        default=os.environ.get("REPRO_NET_SECRET") or None,
+        metavar="TOKEN",
+        help="shared secret authenticating every coordinator/worker frame "
+        "(default: $REPRO_NET_SECRET); required in practice whenever "
+        "--listen leaves 127.0.0.1 — without it, anyone who can reach "
+        "the port can execute code via pickled payloads",
     )
 
 
@@ -394,6 +410,7 @@ def _cmd_worker(args) -> int:
         name=args.name,
         slots=args.slots,
         cache=None if args.no_cache else args.cache,
+        secret=args.secret,
     )
     return agent.run()
 
@@ -454,6 +471,7 @@ def _cmd_campaign(args) -> int:
             host=host,
             port=port,
             heartbeat_timeout=args.heartbeat_timeout,
+            secret=args.secret,
             telemetry=telemetry,
         )
         bound_host, bound_port = remote.address

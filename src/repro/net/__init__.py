@@ -20,6 +20,7 @@ from .coordinator import RemoteExecutor
 from .protocol import (
     MAX_FRAME_BYTES,
     PROTOCOL_VERSION,
+    AuthenticationError,
     ConnectionClosed,
     HandshakeRejected,
     ProtocolError,
@@ -38,6 +39,7 @@ __all__ = [
     "ProtocolError",
     "ConnectionClosed",
     "HandshakeRejected",
+    "AuthenticationError",
     "send_frame",
     "recv_frame",
     "encode_payload",

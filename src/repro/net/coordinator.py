@@ -17,7 +17,11 @@ What it adds over the process executor:
 * **handshake version guard** — a worker whose source tree hashes to a
   different :func:`~repro.exec.cache.code_version_tag` is rejected at
   hello time, because mixing code versions inside one campaign would
-  poison the results table silently.
+  poison the results table silently;
+* **frame authentication** — with a shared ``secret``, every frame is
+  HMAC-signed and unauthenticated peers are refused before any pickled
+  payload is unpickled (see :mod:`repro.net.protocol`); binding beyond
+  loopback without one warns that the network must be fully trusted.
 
 Observability: worker joins/losses are telemetry events
 (``worker_joined`` / ``worker_lost``), and the ``net/workers``,
@@ -33,6 +37,7 @@ import collections
 import socket
 import threading
 import time
+import warnings
 from dataclasses import dataclass, field, replace
 from typing import Any
 
@@ -42,6 +47,7 @@ from ..exec.payload import TrialOutcome, TrialTask
 from ..obs import EVT_WORKER_JOINED, EVT_WORKER_LOST, Telemetry
 from .protocol import (
     PROTOCOL_VERSION,
+    AuthenticationError,
     ConnectionClosed,
     ProtocolError,
     decode_payload,
@@ -51,6 +57,11 @@ from .protocol import (
 )
 
 __all__ = ["RemoteExecutor"]
+
+
+def _is_loopback(host: str) -> bool:
+    """True when a bind address cannot be reached from another machine."""
+    return host in ("localhost", "::1") or host.startswith("127.")
 
 
 @dataclass
@@ -84,6 +95,13 @@ class RemoteExecutor(Executor):
     code_tag:
         Override of :func:`~repro.exec.cache.code_version_tag` for the
         handshake check (tests use this to simulate version skew).
+    secret:
+        Shared secret for frame authentication. With one set, every
+        frame is HMAC-signed and incoming frames from peers without the
+        same secret are refused *before* their pickled payloads are
+        touched. Without one, any host that can reach the port can
+        execute arbitrary code here — listening beyond loopback then
+        assumes a fully trusted network (a ``UserWarning`` says so).
     telemetry:
         Optional :class:`~repro.obs.Telemetry` for fleet events/meters.
     """
@@ -100,12 +118,25 @@ class RemoteExecutor(Executor):
         heartbeat_timeout: float = 10.0,
         handshake_timeout: float = 5.0,
         code_tag: str | None = None,
+        secret: str | None = None,
         telemetry: Telemetry | None = None,
     ) -> None:
         super().__init__(max_workers)
         self.heartbeat_timeout = float(heartbeat_timeout)
         self.handshake_timeout = float(handshake_timeout)
         self.code_tag = code_tag if code_tag is not None else code_version_tag()
+        self.secret = secret
+        if secret is None and not _is_loopback(host):
+            warnings.warn(
+                f"RemoteExecutor is listening on {host!r} without a shared "
+                "secret: task/outcome payloads are pickles, so any host that "
+                "can reach the port can execute arbitrary code in this "
+                "process. Pass secret=... (CLI: --secret/REPRO_NET_SECRET) "
+                "or keep --listen on 127.0.0.1 unless the network is fully "
+                "trusted.",
+                UserWarning,
+                stacklevel=2,
+            )
         self._telem = Telemetry.or_null(telemetry)
         # RLock: reap/dispatch nest (a failed send mid-dispatch reaps)
         self._lock = threading.RLock()
@@ -202,7 +233,7 @@ class RemoteExecutor(Executor):
         for worker in workers:
             worker.alive = False
             try:
-                send_frame(worker.sock, {"type": "shutdown"})
+                send_frame(worker.sock, {"type": "shutdown"}, secret=self.secret)
             except (OSError, ProtocolError):
                 pass  # already gone; closing below is all that is left
             try:
@@ -235,6 +266,23 @@ class RemoteExecutor(Executor):
     def _serve(self, sock: socket.socket, addr: tuple[str, int]) -> None:
         try:
             worker = self._handshake(sock, addr)
+        except AuthenticationError:
+            # tell the peer why (a worker someone forgot to give the
+            # secret to should fail loudly, not look like a network blip)
+            try:
+                send_frame(
+                    sock,
+                    {
+                        "type": "reject",
+                        "reason": "authentication failed: this coordinator "
+                        "requires a matching shared secret (--secret)",
+                    },
+                    secret=self.secret,
+                )
+            except (OSError, ProtocolError):
+                pass
+            sock.close()
+            return
         except (ProtocolError, OSError):
             sock.close()
             return
@@ -246,7 +294,7 @@ class RemoteExecutor(Executor):
     def _handshake(
         self, sock: socket.socket, addr: tuple[str, int]
     ) -> _Worker | None:
-        hello = recv_frame(sock, timeout=self.handshake_timeout)
+        hello = recv_frame(sock, timeout=self.handshake_timeout, secret=self.secret)
         if hello is None or hello.get("type") != "hello":
             raise ProtocolError("expected a hello frame")
         version = hello.get("version")
@@ -264,7 +312,7 @@ class RemoteExecutor(Executor):
         else:
             reason = None
         if reason is not None:
-            send_frame(sock, {"type": "reject", "reason": reason})
+            send_frame(sock, {"type": "reject", "reason": reason}, secret=self.secret)
             return None
         slots = max(1, int(hello.get("slots", 1)))
         base = str(hello.get("name") or f"{addr[0]}:{addr[1]}")
@@ -282,6 +330,7 @@ class RemoteExecutor(Executor):
                     "name": name,
                     "heartbeat_interval": self.heartbeat_timeout / 4.0,
                 },
+                secret=self.secret,
             )
             self._telem.event(
                 EVT_WORKER_JOINED,
@@ -302,7 +351,7 @@ class RemoteExecutor(Executor):
                 if self._closing or not worker.alive:
                     return
             try:
-                frame = recv_frame(worker.sock, timeout=idle)
+                frame = recv_frame(worker.sock, timeout=idle, secret=self.secret)
             except (ProtocolError, OSError) as exc:
                 reason = (
                     "connection closed"
@@ -350,6 +399,10 @@ class RemoteExecutor(Executor):
                 return
             del self._assigned[seq]
             del self._tasks[seq]
+            if outcome.trial_id is None:
+                # worker-synthesized crash outcomes (undecodable payload)
+                # cannot know the trial id, but our task table does
+                outcome.trial_id = task.config.trial_id
             self._done.append(outcome)
             self._dispatch_locked()
             self._update_meters_locked()
@@ -377,7 +430,7 @@ class RemoteExecutor(Executor):
                     "payload": encode_payload(replace(task, telemetry=None)),
                 }
                 try:
-                    send_frame(worker.sock, frame)
+                    send_frame(worker.sock, frame, secret=self.secret)
                 except (OSError, ProtocolError) as exc:
                     # never burned an attempt: the task provably did not
                     # reach the worker, so it goes straight back in line

@@ -20,15 +20,34 @@ Frame types
 ``heartbeat`` worker → coordinator: liveness beacon (also sent mid-trial)
 ``shutdown``  coordinator → worker: drain and exit
 
+Authentication
+--------------
+
+Payloads are pickles, so accepting a frame from an unauthenticated peer
+is arbitrary code execution. When both sides are given the same shared
+``secret``, every frame carries an ``auth`` field: the hex HMAC-SHA256
+of the secret over the frame's canonical JSON (sorted keys, ``auth``
+excluded). A receiver configured with a secret refuses any frame whose
+MAC is missing or wrong (:class:`AuthenticationError`) *before* the
+payload is unpickled. The secret never crosses the wire. This is
+integrity/authenticity only — frames are not encrypted — and there is
+no replay nonce, so a non-loopback deployment still assumes the network
+is trusted; without a secret it must be *fully* trusted (any host that
+can reach the port can execute code).
+
 No-hang discipline: every blocking socket operation in this package
-arms an explicit timeout first (machine-enforced by lint rule RPR007),
-so a dead peer surfaces as a timeout/'connection closed' outcome rather
-than a hung campaign.
+arms an explicit timeout first (machine-enforced by lint rule RPR007);
+``send_frame`` arms its own generous write timeout rather than
+inheriting whatever a reader last set on a shared socket, so a dead
+peer surfaces as a timeout/'connection closed' outcome rather than a
+hung campaign.
 """
 
 from __future__ import annotations
 
 import base64
+import hashlib
+import hmac
 import json
 import pickle
 import socket
@@ -38,9 +57,11 @@ from typing import Any
 __all__ = [
     "PROTOCOL_VERSION",
     "MAX_FRAME_BYTES",
+    "SEND_TIMEOUT",
     "ProtocolError",
     "ConnectionClosed",
     "HandshakeRejected",
+    "AuthenticationError",
     "send_frame",
     "recv_frame",
     "encode_payload",
@@ -53,6 +74,11 @@ PROTOCOL_VERSION = 1
 #: hard ceiling on one frame body — a corrupt length prefix must not
 #: make the receiver try to allocate gigabytes
 MAX_FRAME_BYTES = 64 * 1024 * 1024
+
+#: default write deadline for one frame: generous enough for a large
+#: task pickle over a slow link, finite so a wedged peer with a full
+#: socket buffer cannot hang the sender
+SEND_TIMEOUT = 30.0
 
 _LEN = struct.Struct(">I")
 
@@ -69,34 +95,72 @@ class HandshakeRejected(ProtocolError):
     """The coordinator refused this worker (version or code-tag skew)."""
 
 
-def send_frame(sock: socket.socket, frame: dict[str, Any]) -> None:
-    """Serialize one frame and write it fully.
+class AuthenticationError(ProtocolError):
+    """A frame failed HMAC verification (bad or missing shared secret)."""
 
-    Caller owns write-side locking when several threads share the
-    socket (the worker's heartbeat thread does).
+
+def _frame_mac(secret: str, frame: dict[str, Any]) -> str:
+    """Hex HMAC-SHA256 of ``secret`` over the frame's canonical JSON."""
+    body = json.dumps(frame, sort_keys=True).encode("utf-8")
+    return hmac.new(secret.encode("utf-8"), body, hashlib.sha256).hexdigest()
+
+
+def send_frame(
+    sock: socket.socket,
+    frame: dict[str, Any],
+    secret: str | None = None,
+    timeout: float = SEND_TIMEOUT,
+) -> None:
+    """Serialize one frame and write it fully within ``timeout`` seconds.
+
+    With a ``secret``, the frame is signed (an ``auth`` HMAC field is
+    added) so the receiver can verify it came from a holder of the same
+    secret. Caller owns write-side locking when several threads share
+    the socket (the worker's heartbeat thread does).
     """
+    if secret is not None:
+        frame = dict(frame, auth=_frame_mac(secret, frame))
     body = json.dumps(frame, sort_keys=True).encode("utf-8")
     if len(body) > MAX_FRAME_BYTES:
         raise ProtocolError(
             f"frame of {len(body)} bytes exceeds MAX_FRAME_BYTES ({MAX_FRAME_BYTES})"
         )
+    sock.settimeout(timeout)
     sock.sendall(_LEN.pack(len(body)) + body)
 
 
 def recv_frame(
-    sock: socket.socket, timeout: float = 10.0
+    sock: socket.socket,
+    timeout: float = 10.0,
+    secret: str | None = None,
 ) -> dict[str, Any] | None:
     """Read one complete frame, or ``None`` if nothing arrived in time.
 
-    A timeout *between* frames is normal (returns ``None``); a timeout
-    in the middle of a frame means the peer wedged mid-write and raises
-    :class:`ProtocolError`. EOF raises :class:`ConnectionClosed`.
+    A timeout *before any byte* of a frame is normal (returns ``None``);
+    a timeout after part of the length prefix or body arrived means the
+    peer wedged mid-write and raises :class:`ProtocolError` — returning
+    ``None`` there would silently discard the partial prefix and
+    desynchronize the stream. EOF raises :class:`ConnectionClosed`.
+    With a ``secret``, the frame's ``auth`` MAC is verified (and
+    stripped) before the frame is returned; a missing or wrong MAC
+    raises :class:`AuthenticationError` — in particular, no pickled
+    ``payload`` from an unauthenticated peer ever reaches the caller.
     """
     sock.settimeout(timeout)
-    try:
-        prefix = _recv_exact(sock, _LEN.size)
-    except socket.timeout:
-        return None
+    prefix = b""
+    while len(prefix) < _LEN.size:
+        try:
+            chunk = sock.recv(_LEN.size - len(prefix))
+        except socket.timeout:
+            if not prefix:
+                return None
+            raise ProtocolError(
+                f"peer stalled mid-frame ({len(prefix)}/{_LEN.size} "
+                "length-prefix bytes received)"
+            ) from None
+        if not chunk:
+            raise ConnectionClosed("peer closed the connection")
+        prefix += chunk
     (length,) = _LEN.unpack(prefix)
     if length > MAX_FRAME_BYTES:
         raise ProtocolError(
@@ -115,6 +179,15 @@ def recv_frame(
         raise ProtocolError(f"frame body is not valid JSON: {exc}") from None
     if not isinstance(frame, dict) or "type" not in frame:
         raise ProtocolError("frame is not an object with a 'type' field")
+    if secret is not None:
+        mac = frame.pop("auth", None)
+        if not isinstance(mac, str) or not hmac.compare_digest(
+            mac, _frame_mac(secret, frame)
+        ):
+            raise AuthenticationError(
+                f"{frame.get('type', '?')!r} frame failed HMAC verification "
+                "(peer holds a different shared secret, or none)"
+            )
     return frame
 
 
@@ -139,5 +212,9 @@ def encode_payload(obj: Any) -> str:
 
 
 def decode_payload(text: str) -> Any:
-    """Inverse of :func:`encode_payload`."""
+    """Inverse of :func:`encode_payload`.
+
+    Unpickling executes code: callers must only feed this payloads from
+    frames that passed authentication (or from a trusted loopback peer).
+    """
     return pickle.loads(base64.b64decode(text.encode("ascii")))

@@ -7,6 +7,15 @@ count), then loop pulling tasks, executing them with the very same
 and streaming outcomes back. A background thread beats a heartbeat so
 the coordinator can tell "slow" from "dead".
 
+Outcome discipline: every ``task`` frame with a usable ``seq`` produces
+exactly one ``outcome`` frame — a trial past its ``timeout_s`` deadline
+comes back as ``timeout`` (the runaway thread is abandoned, mirroring
+:class:`~repro.exec.ThreadExecutor` semantics), and any worker-side
+failure before an outcome exists (undecodable payload, cache I/O error)
+comes back as ``crashed``. Both statuses are retryable, so the
+campaign's :class:`~repro.exec.RetryPolicy` requeues them instead of
+the coordinator waiting forever on a seq that will never report.
+
 Cache-aware execution: when the coordinator attached a content address
 (``TrialTask.cache_key``) and this worker was given a
 :class:`~repro.exec.TrialCache` directory shared across hosts, a warm
@@ -70,6 +79,11 @@ class WorkerAgent:
     code_tag:
         Override of :func:`~repro.exec.cache.code_version_tag` (tests
         use it to provoke handshake rejection).
+    secret:
+        Shared secret for frame authentication; must match the
+        coordinator's. With one set, every frame this agent sends is
+        HMAC-signed and every frame it receives must verify — required
+        whenever the coordinator listens beyond loopback.
     """
 
     def __init__(
@@ -80,6 +94,7 @@ class WorkerAgent:
         slots: int = 1,
         cache: TrialCache | str | os.PathLike | None = None,
         code_tag: str | None = None,
+        secret: str | None = None,
         connect_timeout: float = 10.0,
         idle_timeout: float = 0.5,
         log: Callable[[str], None] = _stderr_log,
@@ -94,6 +109,7 @@ class WorkerAgent:
             cache = TrialCache(cache, code_tag=code_tag)
         self.cache = cache
         self.code_tag = code_tag if code_tag is not None else code_version_tag()
+        self.secret = secret
         self.connect_timeout = float(connect_timeout)
         self.idle_timeout = float(idle_timeout)
         self.log = log
@@ -152,8 +168,9 @@ class WorkerAgent:
                 "slots": self.slots,
                 "pid": os.getpid(),
             },
+            secret=self.secret,
         )
-        reply = recv_frame(sock, timeout=self.connect_timeout)
+        reply = recv_frame(sock, timeout=self.connect_timeout, secret=self.secret)
         if reply is None:
             raise ProtocolError("coordinator did not answer the hello")
         if reply.get("type") == "reject":
@@ -173,7 +190,11 @@ class WorkerAgent:
         while not stop.wait(interval):
             try:
                 with send_lock:
-                    send_frame(sock, {"type": "heartbeat", "name": self.name})
+                    send_frame(
+                        sock,
+                        {"type": "heartbeat", "name": self.name},
+                        secret=self.secret,
+                    )
             except (OSError, ProtocolError):
                 return  # the serve loop will notice the dead socket too
 
@@ -181,7 +202,9 @@ class WorkerAgent:
         pool: list[threading.Thread] = []
         while True:
             try:
-                frame = recv_frame(sock, timeout=self.idle_timeout)
+                frame = recv_frame(
+                    sock, timeout=self.idle_timeout, secret=self.secret
+                )
             except ConnectionClosed:
                 self.log(f"worker {self.name!r}: coordinator went away")
                 return EXIT_OK
@@ -221,32 +244,101 @@ class WorkerAgent:
         send_lock: threading.Lock,
         frame: dict[str, Any],
     ) -> None:
-        try:
-            task = decode_payload(frame["payload"])
-        except Exception as exc:  # noqa: BLE001 - any unpickle failure
-            self.log(f"worker {self.name!r}: undecodable task: {exc!r}")
+        """Evaluate one task frame and always report exactly one outcome.
+
+        The coordinator tracks this seq in its assignment table until an
+        outcome arrives (or the worker dies), so swallowing a failure
+        here would park the trial forever: anything that prevents a real
+        outcome is synthesized into a ``crashed`` one instead.
+        """
+        seq = frame.get("seq")
+        if not isinstance(seq, int):
+            # only a corrupt/hostile coordinator sends this; there is no
+            # assignment entry we could unblock by answering
+            self.log(f"worker {self.name!r}: task frame without a seq; dropped")
             return
-        outcome = self._cached_outcome(task)
-        if outcome is None:
-            outcome = execute_trial(task)
-            outcome.worker = self.name
-            self.n_executed += 1
-            key = getattr(task, "cache_key", None)
-            if key and self.cache is not None:
-                self.cache.store_outcome(key, outcome, task.config, task.seed)
+        attempt = frame.get("attempt")
+        attempt = attempt if isinstance(attempt, int) else 0
+        try:
+            outcome = self._evaluate(frame)
+        except Exception as exc:  # noqa: BLE001 - unpickle/cache/any failure
+            self.log(f"worker {self.name!r}: task {seq} failed out-of-band: {exc!r}")
+            outcome = TrialOutcome(
+                seq=seq,
+                trial_id=None,
+                attempt=attempt,
+                status="crashed",
+                error=(
+                    f"worker {self.name!r} could not produce an outcome: {exc!r}"
+                ),
+                worker=self.name,
+            )
         try:
             with send_lock:
                 send_frame(
                     sock,
                     {
                         "type": "outcome",
-                        "seq": task.seq,
-                        "attempt": task.attempt,
+                        "seq": outcome.seq,
+                        "attempt": outcome.attempt,
                         "payload": encode_payload(outcome),
                     },
+                    secret=self.secret,
                 )
         except (OSError, ProtocolError) as exc:
             self.log(f"worker {self.name!r}: could not report outcome: {exc}")
+
+    def _evaluate(self, frame: dict[str, Any]) -> TrialOutcome:
+        """Decode, run (cache-aware, deadline-aware) and store one task."""
+        task = decode_payload(frame["payload"])
+        outcome = self._cached_outcome(task)
+        if outcome is None:
+            outcome = self._execute(task)
+            outcome.worker = self.name
+            self.n_executed += 1
+            key = getattr(task, "cache_key", None)
+            if key and self.cache is not None:
+                try:
+                    self.cache.store_outcome(key, outcome, task.config, task.seed)
+                except OSError as exc:
+                    # a full/broken cache disk must not lose the trial
+                    self.log(f"worker {self.name!r}: cache store failed: {exc}")
+        return outcome
+
+    def _execute(self, task: Any) -> TrialOutcome:
+        """Run one trial, enforcing ``task.timeout_s`` when set.
+
+        Same deadline semantics as :class:`~repro.exec.ThreadExecutor`:
+        a thread cannot be killed, so an overrunning trial is reported
+        as ``timeout`` and *abandoned* — the runaway daemon thread
+        finishes on its own and its late result is discarded.
+        """
+        timeout_s = getattr(task, "timeout_s", None)
+        if timeout_s is None:
+            return execute_trial(task)
+        holder: list[TrialOutcome] = []
+        runner = threading.Thread(
+            target=lambda: holder.append(execute_trial(task)),
+            name=f"trial-{task.seq}",
+            daemon=True,
+        )
+        runner.start()
+        runner.join(float(timeout_s))
+        if holder:
+            return holder[0]
+        self.log(
+            f"worker {self.name!r}: trial seq {task.seq} exceeded its "
+            f"{timeout_s}s deadline; abandoning it"
+        )
+        return TrialOutcome(
+            seq=task.seq,
+            trial_id=task.config.trial_id,
+            attempt=task.attempt,
+            status="timeout",
+            duration_s=float(timeout_s),
+            error=f"trial exceeded timeout of {timeout_s}s on worker {self.name!r}",
+            worker=self.name,
+        )
 
     def _cached_outcome(self, task: Any) -> TrialOutcome | None:
         """A warm outcome from the shared trial cache, if available."""

@@ -10,6 +10,7 @@ different topology warned about) and the worker-side outcome cache.
 
 from __future__ import annotations
 
+import base64
 import os
 import socket
 import struct
@@ -43,6 +44,7 @@ from repro.faults import WorkerKiller
 from repro.net import (
     MAX_FRAME_BYTES,
     PROTOCOL_VERSION,
+    AuthenticationError,
     ConnectionClosed,
     ProtocolError,
     RemoteExecutor,
@@ -108,15 +110,18 @@ def campaign(study=None, **kwargs):
 
 
 def run_remote_campaign(
-    n_workers=2, max_workers=None, worker_kwargs=None, study=None, **campaign_kwargs
+    n_workers=2, max_workers=None, worker_kwargs=None, study=None,
+    secret=None, **campaign_kwargs
 ):
     """One campaign against a fresh loopback fleet of in-process agents."""
     executor = RemoteExecutor(
-        max_workers=max_workers or n_workers, heartbeat_timeout=10.0
+        max_workers=max_workers or n_workers, heartbeat_timeout=10.0,
+        secret=secret,
     )
     host, port = executor.address
     agents = [
-        WorkerAgent(host, port, name=f"w{i}", log=_silent, **(worker_kwargs or {}))
+        WorkerAgent(host, port, name=f"w{i}", log=_silent, secret=secret,
+                    **(worker_kwargs or {}))
         for i in range(n_workers)
     ]
     threads = [
@@ -225,6 +230,32 @@ class TestProtocol:
             a.close()
             b.close()
 
+    def test_partial_length_prefix_timeout_is_a_protocol_error(self):
+        # returning None after consuming 1-3 prefix bytes would silently
+        # desynchronize the stream; it must surface as a protocol error
+        a, b = self.pair()
+        try:
+            a.sendall(b"\x00\x00")  # 2 of the 4 length-prefix bytes
+            with pytest.raises(ProtocolError, match="length-prefix"):
+                recv_frame(b, timeout=0.1)
+        finally:
+            a.close()
+            b.close()
+
+    def test_send_frame_arms_its_own_write_timeout(self):
+        from repro.net.protocol import SEND_TIMEOUT
+
+        a, b = self.pair()
+        try:
+            b.settimeout(0.001)  # a reader left a near-zero timeout behind
+            send_frame(b, {"type": "heartbeat"})
+            # the write deadline was re-armed, not inherited from the reader
+            assert b.gettimeout() == SEND_TIMEOUT
+            assert recv_frame(a, timeout=5.0) == {"type": "heartbeat"}
+        finally:
+            a.close()
+            b.close()
+
     def test_payload_round_trips_arbitrary_objects(self):
         task = TrialTask(
             seq=3,
@@ -315,6 +346,83 @@ class TestHandshake:
         )
         with pytest.raises(RuntimeError, match="shut down"):
             executor.submit(task)
+
+
+# ----------------------------------------------------------- authentication
+class TestAuthentication:
+    """Pickled payloads must never be decoded for unauthenticated peers."""
+
+    def pair(self):
+        a, b = socket.socketpair()
+        a.settimeout(5.0)
+        b.settimeout(5.0)
+        return a, b
+
+    def test_signed_frame_round_trips_and_strips_auth(self):
+        a, b = self.pair()
+        try:
+            send_frame(a, {"type": "task", "seq": 1}, secret="hunter2")
+            frame = recv_frame(b, timeout=5.0, secret="hunter2")
+            assert frame == {"type": "task", "seq": 1}
+        finally:
+            a.close()
+            b.close()
+
+    def test_unsigned_frame_is_refused_when_secret_required(self):
+        a, b = self.pair()
+        try:
+            send_frame(a, {"type": "outcome", "payload": "gadget"})
+            with pytest.raises(AuthenticationError):
+                recv_frame(b, timeout=5.0, secret="hunter2")
+        finally:
+            a.close()
+            b.close()
+
+    def test_wrong_secret_and_tampering_are_refused(self):
+        a, b = self.pair()
+        try:
+            send_frame(a, {"type": "task", "seq": 1}, secret="other")
+            with pytest.raises(AuthenticationError):
+                recv_frame(b, timeout=5.0, secret="hunter2")
+            # a valid MAC over different content must not verify either
+            send_frame(a, {"type": "task", "seq": 1, "auth": "f" * 64})
+            with pytest.raises(AuthenticationError):
+                recv_frame(b, timeout=5.0, secret="hunter2")
+        finally:
+            a.close()
+            b.close()
+
+    def test_handshake_with_matching_secret_runs_a_full_campaign(self):
+        report, agents = run_remote_campaign(n_workers=2, secret="s3cret")
+        assert report.meta["n_completed"] == 8
+        assert sum(a.n_executed for a in agents) == 8
+
+    def test_worker_without_the_secret_is_rejected(self):
+        executor = RemoteExecutor(max_workers=1, secret="s3cret")
+        host, port = executor.address
+        try:
+            # no secret at all: the coordinator explains the rejection
+            agent = WorkerAgent(host, port, log=_silent)
+            assert agent.run() == EXIT_REJECTED
+            # wrong secret: the reject frame fails *our* verification,
+            # which is still a refusal, never a connected worker
+            agent = WorkerAgent(host, port, secret="wr0ng", log=_silent)
+            assert agent.run() in (EXIT_REJECTED, EXIT_CONNECT_FAILED)
+            assert executor.n_workers == 0
+        finally:
+            executor.shutdown()
+
+    def test_non_loopback_listen_without_secret_warns(self):
+        with pytest.warns(UserWarning, match="secret"):
+            executor = RemoteExecutor(max_workers=1, host="0.0.0.0")
+        executor.shutdown()
+
+    def test_loopback_listen_without_secret_is_silent(self):
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            executor = RemoteExecutor(max_workers=1)
+        executor.shutdown()
+        assert not [w for w in caught if "secret" in str(w.message)]
 
 
 # ------------------------------------------------------ determinism matrix
@@ -419,6 +527,139 @@ class TestWorkerLoss:
         executor.shutdown()
         thread.join(timeout=10.0)
         assert result == [EXIT_OK]
+
+
+class HangOnceCaseStudy:
+    """Hangs far past any deadline on the first attempt of each trial.
+
+    State lives on disk (a marker file per trial/seed), because the task
+    pickle gives every worker a fresh copy of this object.
+    """
+
+    def __init__(self, marker_dir, hang_s=30.0):
+        self.marker_dir = str(marker_dir)
+        self.hang_s = hang_s
+
+    def evaluate(self, config, seed, progress=None):
+        marker = os.path.join(self.marker_dir, f"{config.trial_id}-{seed}")
+        try:
+            os.close(os.open(marker, os.O_CREAT | os.O_EXCL | os.O_WRONLY))
+            time.sleep(self.hang_s)
+        except FileExistsError:
+            pass  # a retry: answer instantly
+        return {
+            "reward": float(config["quality"]) + seed * 0.001,
+            "time": float(config["cost"]),
+        }
+
+    def cache_key(self):
+        return "hang-once-case-study-v1"
+
+
+class TestWorkerRobustness:
+    """Every task frame with a seq produces exactly one outcome frame."""
+
+    def drive(self, frame, **agent_kwargs):
+        """Feed one task frame to ``_run_task``; return the outcome."""
+        agent = WorkerAgent("127.0.0.1", 1, name="unit", log=_silent, **agent_kwargs)
+        a, b = socket.socketpair()
+        a.settimeout(5.0)
+        b.settimeout(5.0)
+        try:
+            agent._run_task(a, threading.Lock(), frame)
+            reply = recv_frame(b, timeout=5.0)
+        finally:
+            a.close()
+            b.close()
+        assert reply["type"] == "outcome"
+        return decode_payload(reply["payload"])
+
+    def task_frame(self, case_study=None, **task_kwargs):
+        task = TrialTask(
+            seq=5,
+            config=Configuration({"quality": 1, "cost": 10}, trial_id=3),
+            seed=0,
+            case_study=case_study or RemoteCaseStudy(),
+            **task_kwargs,
+        )
+        return {
+            "type": "task",
+            "seq": task.seq,
+            "attempt": task.attempt,
+            "payload": encode_payload(task),
+        }
+
+    def test_trial_deadline_overrun_reports_timeout(self):
+        frame = self.task_frame(
+            case_study=RemoteCaseStudy(sleep_s=30.0), timeout_s=0.2
+        )
+        outcome = self.drive(frame)
+        assert outcome.status == "timeout"
+        assert outcome.retryable
+        assert outcome.seq == 5 and outcome.trial_id == 3
+        assert "0.2" in outcome.error and "unit" in outcome.error
+
+    def test_fast_trial_under_a_deadline_completes(self):
+        outcome = self.drive(self.task_frame(timeout_s=30.0))
+        assert outcome.status == "completed"
+        assert outcome.measurements == {"reward": 1.0, "time": 10.0}
+
+    def test_undecodable_payload_synthesizes_a_crashed_outcome(self):
+        frame = {
+            "type": "task",
+            "seq": 7,
+            "attempt": 1,
+            "payload": base64.b64encode(b"not a pickle").decode("ascii"),
+        }
+        outcome = self.drive(frame)
+        assert outcome.status == "crashed"
+        assert outcome.retryable
+        assert outcome.seq == 7 and outcome.attempt == 1
+        assert "could not produce an outcome" in outcome.error
+
+    def test_cache_store_failure_does_not_lose_the_outcome(self, tmp_path):
+        cache = TrialCache(tmp_path)
+
+        def boom(*args, **kwargs):
+            raise OSError("disk full")
+
+        cache.store_outcome = boom
+        frame = self.task_frame(cache_key="b" * 32)
+        outcome = self.drive(frame, cache=cache)
+        assert outcome.status == "completed"
+        assert outcome.measurements == {"reward": 1.0, "time": 10.0}
+
+    def test_frame_without_a_seq_is_dropped_silently(self):
+        agent = WorkerAgent("127.0.0.1", 1, name="unit", log=_silent)
+        a, b = socket.socketpair()
+        a.settimeout(0.2)
+        b.settimeout(0.2)
+        try:
+            agent._run_task(a, threading.Lock(), {"type": "task"})
+            assert recv_frame(b, timeout=0.2) is None  # nothing was sent
+        finally:
+            a.close()
+            b.close()
+
+
+class TestRemoteTrialTimeout:
+    def test_hung_trials_time_out_and_recover_through_retry(self, tmp_path):
+        """--trial-timeout is enforced on workers, not silently dropped.
+
+        Every trial hangs far past the deadline on its first attempt;
+        the worker must abandon it, report ``timeout``, keep serving,
+        and the RetryPolicy requeue must land on the same fingerprint
+        as an untroubled serial run.
+        """
+        reference = campaign().run()
+        report, agents = run_remote_campaign(
+            n_workers=2,
+            study=HangOnceCaseStudy(tmp_path),
+            trial_timeout=0.4,
+            retry=RetryPolicy(max_retries=3, backoff_s=0.0),
+        )
+        assert report.meta["n_completed"] == 8
+        assert table_fingerprint(report.table) == table_fingerprint(reference.table)
 
 
 class TestKillNineRecovery:
