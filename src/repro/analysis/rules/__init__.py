@@ -16,7 +16,7 @@ from .determinism import (
     UnseededRngRule,
     WallClockRule,
 )
-from .hygiene import SocketTimeoutRule, SwallowedExceptionRule
+from .hygiene import SocketTimeoutRule, SwallowedExceptionRule, UnboundedRetryRule
 
 __all__ = [
     "ProjectRule",
@@ -35,6 +35,7 @@ def default_rules() -> list[Rule]:
         AccumulationOrderRule(),
         SwallowedExceptionRule(),
         SocketTimeoutRule(),
+        UnboundedRetryRule(),
     ]
 
 

@@ -7,7 +7,7 @@ from typing import Iterator
 
 from ..engine import FileContext, Finding, Rule
 
-__all__ = ["SwallowedExceptionRule", "SocketTimeoutRule"]
+__all__ = ["SwallowedExceptionRule", "SocketTimeoutRule", "UnboundedRetryRule"]
 
 _BROAD = ("Exception", "BaseException")
 
@@ -74,10 +74,12 @@ class SocketTimeoutRule(Rule):
 
     The heuristic is per-function: a ``recv``/``accept``/``connect``
     call is fine when the *same* function arms a timeout via
-    ``settimeout(...)`` (with a non-``None`` value) before blocking, and
-    ``create_connection`` must be given its ``timeout`` argument.
-    Nested functions are separate scopes — a timeout armed in an outer
-    function does not protect an inner one.
+    ``settimeout(...)`` (with a non-``None`` value) before blocking, or
+    when the call itself carries an explicit ``timeout=`` keyword (the
+    :class:`~repro.net.protocol.FrameStream` wrappers take the deadline
+    at the call site), and ``create_connection`` must be given its
+    ``timeout`` argument. Nested functions are separate scopes — a
+    timeout armed in an outer function does not protect an inner one.
     """
 
     rule_id = "RPR007"
@@ -103,7 +105,9 @@ class SocketTimeoutRule(Rule):
         armed = any(self._arms_timeout(call) for call in calls)
         for call in calls:
             name = self._method_name(call)
-            if name in _BLOCKING_SOCK_METHODS and not armed:
+            if name in _BLOCKING_SOCK_METHODS and not (
+                armed or self._has_timeout_kwarg(call)
+            ):
                 yield self.finding(
                     ctx,
                     call,
@@ -157,3 +161,103 @@ class SocketTimeoutRule(Rule):
         if len(call.args) >= 2:
             return True
         return any(kw.arg == "timeout" for kw in call.keywords)
+
+    @staticmethod
+    def _has_timeout_kwarg(call: ast.Call) -> bool:
+        """An explicit ``timeout=`` at the call site is its own arming."""
+        return any(kw.arg == "timeout" for kw in call.keywords)
+
+
+#: call names that dial a peer — the body of a reconnect loop
+_CONNECT_CALLS = frozenset({"connect", "connect_ex", "create_connection", "dial"})
+
+
+class UnboundedRetryRule(Rule):
+    """RPR008: unbounded reconnect loops / uncapped backoff in ``repro.net``.
+
+    Two shapes are flagged. A ``while True`` (or other constant-true)
+    loop whose own scope dials a peer is an unbounded reconnect loop —
+    bounded retry belongs in a ``for attempt in range(...)`` with the
+    attempt budget visible. And a ``sleep()`` whose argument contains an
+    exponential term (``**``) not wrapped in ``min(...)`` is an uncapped
+    backoff — a worker that doubles forever is indistinguishable from a
+    dead one. Both caps exist in :class:`repro.exec.RetryPolicy`; reuse
+    it instead of hand-rolling the loop.
+    """
+
+    rule_id = "RPR008"
+    title = "unbounded reconnect loop or uncapped backoff"
+    rationale = (
+        "a reconnect path with no attempt budget or backoff ceiling turns "
+        "a dead coordinator into a worker that spins or sleeps forever "
+        "instead of exiting with a diagnosable status"
+    )
+    scope = ("net",)
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.While) and _is_constant_true(node.test):
+                dialer = self._first_connect_call(node)
+                if dialer is not None:
+                    yield self.finding(
+                        ctx,
+                        node,
+                        f"while-True loop redials via "
+                        f"{SocketTimeoutRule._method_name(dialer)}() with no "
+                        "attempt bound; use 'for attempt in range(...)' (or "
+                        "RetryPolicy) so giving up is a visible outcome",
+                    )
+            elif isinstance(node, ast.Call):
+                if SocketTimeoutRule._method_name(node) != "sleep" or not node.args:
+                    continue
+                if _uncapped_pow(node.args[0]):
+                    yield self.finding(
+                        ctx,
+                        node,
+                        "exponential backoff with no cap; wrap the delay in "
+                        "min(..., max_backoff) (RetryPolicy.delay does this) "
+                        "so retries stay responsive",
+                    )
+
+    @staticmethod
+    def _first_connect_call(loop: ast.While) -> ast.Call | None:
+        """First dialing call in the loop's own scope (not nested defs)."""
+        stack: list[ast.AST] = list(loop.body)
+        while stack:
+            node = stack.pop()
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+                continue
+            if isinstance(node, ast.Call):
+                name = SocketTimeoutRule._method_name(node)
+                if name is not None and (
+                    name in _CONNECT_CALLS or "connect" in name
+                ):
+                    return node
+            stack.extend(ast.iter_child_nodes(node))
+        return None
+
+
+def _is_constant_true(test: ast.expr) -> bool:
+    return isinstance(test, ast.Constant) and bool(test.value)
+
+
+def _uncapped_pow(expr: ast.expr) -> bool:
+    """True when ``expr`` contains a ``**`` term outside any ``min(...)``."""
+    capped: set[int] = set()
+    for node in ast.walk(expr):
+        if (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Name)
+            and node.func.id == "min"
+        ):
+            capped.update(
+                id(sub)
+                for sub in ast.walk(node)
+                if isinstance(sub, ast.BinOp) and isinstance(sub.op, ast.Pow)
+            )
+    return any(
+        isinstance(node, ast.BinOp)
+        and isinstance(node.op, ast.Pow)
+        and id(node) not in capped
+        for node in ast.walk(expr)
+    )

@@ -155,6 +155,23 @@ def _add_campaign_parser(subparsers) -> None:
         "this long and requeue its trials",
     )
     p.add_argument(
+        "--on-fleet-loss",
+        choices=("wait", "local", "fail"),
+        default="wait",
+        help="with --executor remote, what to do when live workers drop "
+        "below --min-workers mid-campaign: wait for rejoins (default), "
+        "run pending trials locally, or fail the campaign",
+    )
+    p.add_argument(
+        "--rejoin-grace",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="with --executor remote, hold a lost worker's in-flight "
+        "trials this long for a session rejoin before requeueing them "
+        "(default: the heartbeat timeout)",
+    )
+    p.add_argument(
         "--trial-timeout",
         type=float,
         default=None,
@@ -252,6 +269,22 @@ def _add_worker_parser(subparsers) -> None:
         "--no-cache",
         action="store_true",
         help="disable the trial cache entirely (neither read nor write)",
+    )
+    p.add_argument(
+        "--connect-retries",
+        type=int,
+        default=0,
+        metavar="N",
+        help="extra dial attempts (with capped exponential backoff) when "
+        "the coordinator is not up yet — lets workers start first",
+    )
+    p.add_argument(
+        "--connect-backoff",
+        type=float,
+        default=0.5,
+        metavar="SECONDS",
+        help="base delay between dial attempts; doubles per retry up to "
+        "a cap",
     )
     _add_secret_argument(p)
 
@@ -411,6 +444,8 @@ def _cmd_worker(args) -> int:
         slots=args.slots,
         cache=None if args.no_cache else args.cache,
         secret=args.secret,
+        connect_retries=args.connect_retries,
+        connect_backoff=args.connect_backoff,
     )
     return agent.run()
 
@@ -458,9 +493,11 @@ def _cmd_campaign(args) -> int:
         journal = CampaignJournal(args.journal)
     executor: object = args.executor
     remote = None
+    fleet_lost: tuple[type[BaseException], ...] = ()
     if args.executor == "remote":
-        from repro.net import RemoteExecutor
+        from repro.net import FleetLostError, FleetPolicy, RemoteExecutor
 
+        fleet_lost = (FleetLostError,)
         try:
             host, port = _parse_hostport(args.listen)
         except ValueError as exc:
@@ -473,6 +510,11 @@ def _cmd_campaign(args) -> int:
             heartbeat_timeout=args.heartbeat_timeout,
             secret=args.secret,
             telemetry=telemetry,
+            policy=FleetPolicy(
+                min_workers=max(args.min_workers, 1),
+                on_fleet_loss=args.on_fleet_loss,
+                rejoin_grace_s=args.rejoin_grace,
+            ),
         )
         bound_host, bound_port = remote.address
         print(
@@ -512,6 +554,14 @@ def _cmd_campaign(args) -> int:
         report = campaign.run(progress=progress)
     except JournalMismatch as exc:
         print(f"repro campaign: {exc}", file=sys.stderr)
+        return 1
+    except fleet_lost as exc:
+        print(
+            f"repro campaign: fleet lost: {exc}\n"
+            "  (rerun with --on-fleet-loss wait/local, raise --min-workers "
+            "tolerance, or restart the lost workers)",
+            file=sys.stderr,
+        )
         return 1
     finally:
         if remote is not None:

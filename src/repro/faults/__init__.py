@@ -10,7 +10,15 @@ summarised in :class:`FaultStats` and turned into resilience metrics
 framework back-ends.
 """
 
-from .chaos import WorkerKiller
+from .chaos import (
+    CHAOS_PLAN_FORMAT_VERSION,
+    ChaosPlan,
+    FrameCorruption,
+    LinkLatency,
+    LinkPartition,
+    LinkThrottle,
+    WorkerKiller,
+)
 from .plan import (
     PLAN_FORMAT_VERSION,
     FaultPlan,
@@ -43,4 +51,10 @@ __all__ = [
     "FaultSchedule",
     "FaultStats",
     "WorkerKiller",
+    "CHAOS_PLAN_FORMAT_VERSION",
+    "ChaosPlan",
+    "LinkPartition",
+    "LinkLatency",
+    "LinkThrottle",
+    "FrameCorruption",
 ]

@@ -1,27 +1,47 @@
-"""Real-process chaos: kill an actual worker mid-campaign.
+"""Real-process chaos: kill workers, partition links, corrupt frames.
 
 The rest of :mod:`repro.faults` injects faults into the *virtual*
 cluster; this module injects them into the real one. A
 :class:`WorkerKiller` plugs into the campaign's progress callback and
 ``SIGKILL``\\ s a live worker process after a set number of committed
 trials — the genuine article the simulated :class:`~repro.faults.plan.NodeCrash`
-models. The distributed layer must then notice the death via missed
-heartbeats and requeue the in-flight trials, and the resulting table
-must fingerprint identically to an undisturbed run; the chaos tests and
-the CI ``distributed-smoke`` job assert exactly that.
+models. A :class:`ChaosPlan` declares *network* misbehaviour —
+partitions, latency, bandwidth throttling, frame corruption — for
+:class:`~repro.net.chaos.ChaosProxy` to execute between a real
+coordinator and real workers, the genuine article the simulated
+:class:`~repro.faults.plan.LinkDegradation` models. The distributed
+layer must ride all of it out (rejoin grace, outbox redelivery,
+quarantine, degradation policies) and the resulting table must
+fingerprint identically to an undisturbed run; the chaos tests and the
+CI ``distributed-smoke`` job assert exactly that.
 
-Determinism note: triggering is tied to committed-trial *count*, never
-to elapsed time — this package is hashed into trial cache keys, and a
-count is reproducible where a clock is not.
+Determinism note: triggering is tied to *counts* (committed trials for
+the killer, relayed outcome frames for the proxy), never to elapsed
+time, and corruption bytes come from seeded hash arithmetic, never an
+RNG — this package is hashed into trial cache keys, and counts and
+hashes are reproducible where clocks and RNG state are not.
 """
 
 from __future__ import annotations
 
+import hashlib
+import json
 import os
 import signal
+from dataclasses import dataclass
 from typing import Any, Callable
 
-__all__ = ["WorkerKiller"]
+__all__ = [
+    "WorkerKiller",
+    "ChaosPlan",
+    "LinkPartition",
+    "LinkLatency",
+    "LinkThrottle",
+    "FrameCorruption",
+    "CHAOS_PLAN_FORMAT_VERSION",
+]
+
+CHAOS_PLAN_FORMAT_VERSION = 1
 
 
 class WorkerKiller:
@@ -73,3 +93,354 @@ class WorkerKiller:
         except (ProcessLookupError, PermissionError):
             return  # already gone (or not ours): nothing left to chaos
         self.killed.append(int(pid))
+
+
+# ---------------------------------------------------------------- chaos plan
+@dataclass(frozen=True)
+class LinkPartition:
+    """Link ``link`` drops both directions after ``after_outcomes``.
+
+    Triggers and heals on the proxy-global count of relayed ``outcome``
+    frames — fleet progress, not wall clock — so the same plan partitions
+    at the same point in every run. ``heal_after_outcomes`` more relayed
+    outcomes (necessarily from *other* links) heal the partition;
+    ``None`` never heals (the link stays dark until the proxy closes).
+    """
+
+    link: int
+    after_outcomes: int = 0
+    heal_after_outcomes: int | None = None
+
+    def validate(self) -> None:
+        if self.link < 0:
+            raise ValueError(f"partition link must be >= 0, got {self.link}")
+        if self.after_outcomes < 0:
+            raise ValueError("after_outcomes must be >= 0")
+        if self.heal_after_outcomes is not None and self.heal_after_outcomes < 1:
+            raise ValueError("heal_after_outcomes must be >= 1 (or None)")
+
+
+@dataclass(frozen=True)
+class LinkLatency:
+    """Every frame on ``link`` is delayed ``delay_s`` inside the window.
+
+    ``link=-1`` applies to every link. The window opens after
+    ``after_outcomes`` relayed outcomes and closes ``for_outcomes``
+    relayed outcomes later (``None`` keeps it open forever).
+    """
+
+    delay_s: float
+    link: int = -1
+    after_outcomes: int = 0
+    for_outcomes: int | None = None
+
+    def validate(self) -> None:
+        if self.delay_s <= 0:
+            raise ValueError(f"latency delay_s must be > 0, got {self.delay_s}")
+        if self.link < -1:
+            raise ValueError("latency link must be >= 0, or -1 for all links")
+        if self.after_outcomes < 0:
+            raise ValueError("after_outcomes must be >= 0")
+        if self.for_outcomes is not None and self.for_outcomes < 1:
+            raise ValueError("for_outcomes must be >= 1 (or None)")
+
+
+@dataclass(frozen=True)
+class LinkThrottle:
+    """Bandwidth on ``link`` is capped at ``bytes_per_s`` in the window.
+
+    Same link/window semantics as :class:`LinkLatency`. The proxy models
+    the cap by sleeping ``len(frame) / bytes_per_s`` per relayed frame.
+    """
+
+    bytes_per_s: float
+    link: int = -1
+    after_outcomes: int = 0
+    for_outcomes: int | None = None
+
+    def validate(self) -> None:
+        if self.bytes_per_s <= 0:
+            raise ValueError(
+                f"throttle bytes_per_s must be > 0, got {self.bytes_per_s}"
+            )
+        if self.link < -1:
+            raise ValueError("throttle link must be >= 0, or -1 for all links")
+        if self.after_outcomes < 0:
+            raise ValueError("after_outcomes must be >= 0")
+        if self.for_outcomes is not None and self.for_outcomes < 1:
+            raise ValueError("for_outcomes must be >= 1 (or None)")
+
+
+@dataclass(frozen=True)
+class FrameCorruption:
+    """The ``frame_index``-th frame on ``link``/``direction`` is mangled.
+
+    ``mode="truncate"`` forwards the length prefix plus half the body
+    then kills the link (the receiver sees a mid-frame stall or EOF);
+    ``mode="garbage"`` keeps the length honest but substitutes seeded
+    garbage bytes (the receiver sees a JSON parse / HMAC failure). Both
+    must surface as a reconnect + retry, never a hang or a wrong table.
+    """
+
+    link: int
+    frame_index: int
+    direction: str = "up"
+    mode: str = "truncate"
+
+    def validate(self) -> None:
+        if self.link < 0:
+            raise ValueError(f"corruption link must be >= 0, got {self.link}")
+        if self.frame_index < 0:
+            raise ValueError("frame_index must be >= 0")
+        if self.direction not in ("up", "down"):
+            raise ValueError(
+                f"direction must be 'up' (worker->coordinator) or 'down', "
+                f"got {self.direction!r}"
+            )
+        if self.mode not in ("truncate", "garbage"):
+            raise ValueError(
+                f"mode must be 'truncate' or 'garbage', got {self.mode!r}"
+            )
+
+
+@dataclass(frozen=True)
+class ChaosPlan:
+    """A deterministic schedule of real-network chaos for the proxy.
+
+    The same plan idiom as :class:`~repro.faults.plan.FaultPlan`:
+    declarative frozen data, JSON round-trip, a stable ``plan_hash``,
+    and count-based triggers so a plan replays identically. An empty
+    plan is first-class — the proxy degenerates to a transparent relay
+    and results are byte-identical to a direct connection.
+    """
+
+    partitions: tuple[LinkPartition, ...] = ()
+    latencies: tuple[LinkLatency, ...] = ()
+    throttles: tuple[LinkThrottle, ...] = ()
+    corruptions: tuple[FrameCorruption, ...] = ()
+    seed: int = 0
+    name: str = ""
+
+    def __post_init__(self) -> None:
+        # accept lists for ergonomic construction, store tuples (hashable,
+        # frozen, picklable)
+        for attr in ("partitions", "latencies", "throttles", "corruptions"):
+            value = getattr(self, attr)
+            if not isinstance(value, tuple):
+                object.__setattr__(self, attr, tuple(value))
+
+    # ------------------------------------------------------------- queries
+    @property
+    def is_empty(self) -> bool:
+        return not (
+            self.partitions or self.latencies or self.throttles or self.corruptions
+        )
+
+    @property
+    def n_events(self) -> int:
+        return (
+            len(self.partitions)
+            + len(self.latencies)
+            + len(self.throttles)
+            + len(self.corruptions)
+        )
+
+    def validate(self) -> None:
+        """Raise ``ValueError`` on an inconsistent plan."""
+        for partition in self.partitions:
+            partition.validate()
+        seen_links = [p.link for p in self.partitions]
+        if len(seen_links) != len(set(seen_links)):
+            raise ValueError("at most one partition per link")
+        for latency in self.latencies:
+            latency.validate()
+        for throttle in self.throttles:
+            throttle.validate()
+        for corruption in self.corruptions:
+            corruption.validate()
+
+    # ------------------------------------------------------- serialization
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "format_version": CHAOS_PLAN_FORMAT_VERSION,
+            "name": self.name,
+            "seed": int(self.seed),
+            "partitions": [
+                {
+                    "link": p.link,
+                    "after_outcomes": int(p.after_outcomes),
+                    "heal_after_outcomes": None
+                    if p.heal_after_outcomes is None
+                    else int(p.heal_after_outcomes),
+                }
+                for p in self.partitions
+            ],
+            "latencies": [
+                {
+                    "delay_s": float(lat.delay_s),
+                    "link": lat.link,
+                    "after_outcomes": int(lat.after_outcomes),
+                    "for_outcomes": None
+                    if lat.for_outcomes is None
+                    else int(lat.for_outcomes),
+                }
+                for lat in self.latencies
+            ],
+            "throttles": [
+                {
+                    "bytes_per_s": float(th.bytes_per_s),
+                    "link": th.link,
+                    "after_outcomes": int(th.after_outcomes),
+                    "for_outcomes": None
+                    if th.for_outcomes is None
+                    else int(th.for_outcomes),
+                }
+                for th in self.throttles
+            ],
+            "corruptions": [
+                {
+                    "link": c.link,
+                    "frame_index": int(c.frame_index),
+                    "direction": c.direction,
+                    "mode": c.mode,
+                }
+                for c in self.corruptions
+            ],
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict[str, Any]) -> "ChaosPlan":
+        version = payload.get("format_version", CHAOS_PLAN_FORMAT_VERSION)
+        if version != CHAOS_PLAN_FORMAT_VERSION:
+            raise ValueError(
+                f"unsupported chaos plan format_version {version!r} "
+                f"(this build reads {CHAOS_PLAN_FORMAT_VERSION})"
+            )
+        return cls(
+            partitions=tuple(
+                LinkPartition(
+                    link=int(p["link"]),
+                    after_outcomes=int(p.get("after_outcomes", 0)),
+                    heal_after_outcomes=None
+                    if p.get("heal_after_outcomes") is None
+                    else int(p["heal_after_outcomes"]),
+                )
+                for p in payload.get("partitions", [])
+            ),
+            latencies=tuple(
+                LinkLatency(
+                    delay_s=float(lat["delay_s"]),
+                    link=int(lat.get("link", -1)),
+                    after_outcomes=int(lat.get("after_outcomes", 0)),
+                    for_outcomes=None
+                    if lat.get("for_outcomes") is None
+                    else int(lat["for_outcomes"]),
+                )
+                for lat in payload.get("latencies", [])
+            ),
+            throttles=tuple(
+                LinkThrottle(
+                    bytes_per_s=float(th["bytes_per_s"]),
+                    link=int(th.get("link", -1)),
+                    after_outcomes=int(th.get("after_outcomes", 0)),
+                    for_outcomes=None
+                    if th.get("for_outcomes") is None
+                    else int(th["for_outcomes"]),
+                )
+                for th in payload.get("throttles", [])
+            ),
+            corruptions=tuple(
+                FrameCorruption(
+                    link=int(c["link"]),
+                    frame_index=int(c["frame_index"]),
+                    direction=str(c.get("direction", "up")),
+                    mode=str(c.get("mode", "truncate")),
+                )
+                for c in payload.get("corruptions", [])
+            ),
+            seed=int(payload.get("seed", 0)),
+            name=str(payload.get("name", "")),
+        )
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict(), indent=2, sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text: str) -> "ChaosPlan":
+        return cls.from_dict(json.loads(text))
+
+    def save(self, path: str | os.PathLike) -> None:
+        with open(os.fspath(path), "w", encoding="utf-8") as handle:
+            handle.write(self.to_json())
+            handle.write("\n")
+
+    @classmethod
+    def load(cls, path: str | os.PathLike) -> "ChaosPlan":
+        with open(os.fspath(path), encoding="utf-8") as handle:
+            return cls.from_json(handle.read())
+
+    def plan_hash(self) -> str:
+        """Stable 12-hex digest of the plan's semantic content.
+
+        The ``name`` field is cosmetic and excluded, mirroring
+        :meth:`~repro.faults.plan.FaultPlan.plan_hash`.
+        """
+        payload = self.to_dict()
+        payload.pop("name", None)
+        canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+        return hashlib.sha1(canonical.encode()).hexdigest()[:12]
+
+    def garbage_bytes(self, n: int, *key: Any) -> bytes:
+        """``n`` seeded pseudo-random bytes for a ``garbage`` corruption.
+
+        Pure hash arithmetic over ``(seed, *key, counter)`` — the same
+        plan corrupts a frame into the same bytes on every run and every
+        platform, keeping "the campaign survives garbage" reproducible.
+        """
+        out = bytearray()
+        counter = 0
+        while len(out) < n:
+            block = hashlib.sha256(
+                "|".join(str(k) for k in (self.seed, *key, counter)).encode()
+            ).digest()
+            out.extend(block)
+            counter += 1
+        return bytes(out[:n])
+
+    def describe(self) -> str:
+        """Human-readable multi-line summary of the plan."""
+        lines = [
+            f"chaos plan {self.name or '(unnamed)'} — hash {self.plan_hash()}, "
+            f"{self.n_events} event(s)"
+        ]
+        for p in sorted(self.partitions, key=lambda p: (p.after_outcomes, p.link)):
+            heal = (
+                "never heals"
+                if p.heal_after_outcomes is None
+                else f"heals after {p.heal_after_outcomes} more outcome(s)"
+            )
+            lines.append(
+                f"  partition  link {p.link} after {p.after_outcomes} "
+                f"outcome(s), {heal}"
+            )
+        for lat in sorted(self.latencies, key=lambda x: (x.after_outcomes, x.link)):
+            where = "all links" if lat.link == -1 else f"link {lat.link}"
+            lines.append(
+                f"  latency    +{lat.delay_s * 1e3:.1f}ms per frame on {where}"
+            )
+        for th in sorted(self.throttles, key=lambda x: (x.after_outcomes, x.link)):
+            where = "all links" if th.link == -1 else f"link {th.link}"
+            lines.append(
+                f"  throttle   {th.bytes_per_s:.0f} B/s on {where}"
+            )
+        for c in sorted(self.corruptions, key=lambda x: (x.link, x.frame_index)):
+            lines.append(
+                f"  corrupt    {c.mode} frame {c.frame_index} ({c.direction}) "
+                f"on link {c.link}"
+            )
+        if self.is_empty:
+            lines.append(
+                "  (empty plan: the proxy is a transparent relay, results "
+                "byte-identical to a direct connection)"
+            )
+        return "\n".join(lines)

@@ -16,12 +16,15 @@ lazily, so the core never pays for the network stack it does not use).
 from __future__ import annotations
 
 from ..exec.executors import register_executor
+from .chaos import ChaosProxy
 from .coordinator import RemoteExecutor
+from .health import FleetHealth, FleetLostError, FleetPolicy
 from .protocol import (
     MAX_FRAME_BYTES,
     PROTOCOL_VERSION,
     AuthenticationError,
     ConnectionClosed,
+    FrameStream,
     HandshakeRejected,
     ProtocolError,
     decode_payload,
@@ -34,12 +37,17 @@ from .worker import WorkerAgent
 __all__ = [
     "RemoteExecutor",
     "WorkerAgent",
+    "ChaosProxy",
+    "FleetPolicy",
+    "FleetHealth",
+    "FleetLostError",
     "PROTOCOL_VERSION",
     "MAX_FRAME_BYTES",
     "ProtocolError",
     "ConnectionClosed",
     "HandshakeRejected",
     "AuthenticationError",
+    "FrameStream",
     "send_frame",
     "recv_frame",
     "encode_payload",

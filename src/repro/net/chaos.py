@@ -1,0 +1,440 @@
+"""A deterministic in-process chaos proxy for ``repro.net``.
+
+:class:`ChaosProxy` sits between workers and a coordinator as a plain
+TCP relay: workers dial the proxy, the proxy dials the real coordinator,
+and two frame-aware pump threads per link shuttle length-prefixed frames
+both ways. A :class:`~repro.faults.ChaosPlan` then injects real network
+failure modes on real sockets — partitions, added latency, bandwidth
+throttling, frame truncation and seeded garbage — without root, ``tc``
+or iptables, so the partition-tolerance tests run anywhere the unit
+suite runs.
+
+Determinism: every plan trigger counts *relayed ``outcome`` frames*
+(fleet progress), never wall-clock time, and garbage bytes come from the
+plan's seeded hash chain. The same plan against the same campaign
+partitions the same link at the same point in every run.
+
+Partition semantics mirror a real network split: the proxy simply stops
+*reading* both directions of the link, so neither side sees an error —
+the worker's heartbeats back up in kernel buffers, the coordinator's
+heartbeat reaper eventually declares the worker lost, and on heal the
+first pump pass surfaces the (by then half-closed) connection as an
+EOF, pushing the worker into its reconnect path. That end-to-end
+cascade — partition, reap, heal, rejoin, dedup — is exactly what the
+chaos tests assert on.
+
+The proxy never verifies HMACs and never unpickles payloads; it only
+parses frame boundaries and peeks at the JSON ``type`` field to count
+outcomes. Corruption injected here is therefore also a test of the
+*receiver's* authentication and framing discipline.
+
+No-hang discipline: every blocking socket call arms a timeout in the
+same function (lint rule RPR007), and every loop either bounds its
+iterations or watches the proxy's closing flag.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+import struct
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Any
+
+from ..faults.chaos import ChaosPlan, FrameCorruption
+from .protocol import MAX_FRAME_BYTES
+
+__all__ = ["ChaosProxy"]
+
+_LEN = struct.Struct(">I")
+
+#: granularity of the "am I still open / still partitioned?" checks the
+#: pump threads make between blocking reads
+_TICK_S = 0.1
+
+
+@dataclass
+class _Link:
+    """One proxied worker connection (client sock + upstream sock)."""
+
+    index: int
+    client: socket.socket
+    upstream: socket.socket
+    enabled: threading.Event = field(default_factory=threading.Event)
+    alive: bool = True
+    frames_up: int = 0
+    frames_down: int = 0
+
+    def close(self) -> None:
+        self.alive = False
+        self.enabled.set()  # unblock pumps parked on a partition
+        for sock in (self.client, self.upstream):
+            try:
+                sock.close()
+            except OSError:
+                pass  # nothing to salvage from a close() failure
+
+
+class ChaosProxy:
+    """Frame-aware TCP relay that executes a :class:`ChaosPlan`.
+
+    Parameters
+    ----------
+    upstream_host, upstream_port:
+        The real coordinator to relay to.
+    plan:
+        The chaos schedule; ``None`` / empty means transparent relay.
+    host, port:
+        Listen address for workers; port 0 picks a free port (read it
+        back from :attr:`port`).
+
+    Links are numbered in accept order starting at 0, so a plan written
+    against "link 0 = first worker to connect" is stable as long as the
+    test starts its workers deterministically. A reconnect after a
+    failure is a *new* link with a fresh index — plans target the
+    original connection, not the worker identity.
+    """
+
+    def __init__(
+        self,
+        upstream_host: str,
+        upstream_port: int,
+        plan: ChaosPlan | None = None,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        connect_timeout: float = 5.0,
+    ) -> None:
+        self.upstream_host = upstream_host
+        self.upstream_port = int(upstream_port)
+        self.plan = plan if plan is not None else ChaosPlan()
+        self.plan.validate()
+        self.connect_timeout = float(connect_timeout)
+
+        self._lock = threading.Lock()
+        self._closing = False
+        self._links: dict[int, _Link] = {}
+        self._n_links = 0
+        self._outcomes_relayed = 0
+        self._link_ready = threading.Condition(self._lock)
+        # per-partition progress: engaged once, healed once, never re-armed
+        self._pstate: dict[int, dict[str, Any]] = {
+            p.link: {"engaged": False, "healed": False, "heal_at": None}
+            for p in self.plan.partitions
+        }
+
+        self._server = socket.create_server((host, 0 if port == 0 else port))
+        self.host, self.port = self._server.getsockname()[:2]
+        self._threads: list[threading.Thread] = []
+        acceptor = threading.Thread(
+            target=self._accept_loop, name="chaos-accept", daemon=True
+        )
+        acceptor.start()
+        self._threads.append(acceptor)
+
+    # ----------------------------------------------------------- public
+    @property
+    def address(self) -> tuple[str, int]:
+        return (self.host, self.port)
+
+    def wait_for_links(self, n: int, timeout: float = 10.0) -> bool:
+        """Block until ``n`` links have connected (or ``timeout`` passes)."""
+        deadline = time.monotonic() + timeout
+        with self._lock:
+            while self._n_links < n:
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    return False
+                self._link_ready.wait(remaining)
+            return True
+
+    def heal(self, link: int | None = None) -> None:
+        """Force-heal engaged partitions (all of them, or one link's).
+
+        Tests use this to end a never-healing partition on their own
+        schedule instead of encoding the heal point in the plan.
+        """
+        with self._lock:
+            for idx, state in self._pstate.items():
+                if link is not None and idx != link:
+                    continue
+                if state["engaged"]:
+                    state["engaged"] = False
+                    state["healed"] = True
+                    live = self._links.get(idx)
+                    if live is not None:
+                        live.enabled.set()
+
+    def stats(self) -> dict[str, Any]:
+        """JSON-safe snapshot of what the proxy has seen and done."""
+        with self._lock:
+            return {
+                "plan_hash": self.plan.plan_hash(),
+                "n_links": self._n_links,
+                "live_links": sum(1 for lk in self._links.values() if lk.alive),
+                "outcomes_relayed": self._outcomes_relayed,
+                "partitions": {
+                    str(idx): {
+                        "engaged": st["engaged"],
+                        "healed": st["healed"],
+                        "heal_at": st["heal_at"],
+                    }
+                    for idx, st in sorted(self._pstate.items())
+                },
+                "links": {
+                    str(lk.index): {
+                        "alive": lk.alive,
+                        "frames_up": lk.frames_up,
+                        "frames_down": lk.frames_down,
+                        "partitioned": not lk.enabled.is_set(),
+                    }
+                    for lk in self._links.values()
+                },
+            }
+
+    def close(self) -> None:
+        with self._lock:
+            if self._closing:
+                return
+            self._closing = True
+            links = list(self._links.values())
+        try:
+            self._server.close()
+        except OSError:
+            pass
+        for link in links:
+            link.close()
+        for thread in self._threads:
+            thread.join(timeout=5.0)
+
+    def __enter__(self) -> "ChaosProxy":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
+
+    # ----------------------------------------------------------- accept
+    def _accept_loop(self) -> None:
+        self._server.settimeout(_TICK_S)
+        while not self._closing:
+            try:
+                client, _addr = self._server.accept()
+            except socket.timeout:
+                continue
+            except OSError:
+                return  # server socket closed under us: shutting down
+            try:
+                upstream = socket.create_connection(
+                    (self.upstream_host, self.upstream_port),
+                    timeout=self.connect_timeout,
+                )
+            except OSError:
+                try:
+                    client.close()
+                except OSError:
+                    pass
+                continue
+            with self._lock:
+                link = _Link(index=self._n_links, client=client, upstream=upstream)
+                link.enabled.set()
+                self._links[link.index] = link
+                self._n_links += 1
+                # a plan may partition a link from its very first frame
+                self._evaluate_plan_locked()
+                self._link_ready.notify_all()
+            for direction, src, dst in (
+                ("up", client, upstream),
+                ("down", upstream, client),
+            ):
+                pump = threading.Thread(
+                    target=self._pump,
+                    args=(link, direction, src, dst),
+                    name=f"chaos-link{link.index}-{direction}",
+                    daemon=True,
+                )
+                pump.start()
+                self._threads.append(pump)
+
+    # ------------------------------------------------------------ pumps
+    def _pump(
+        self,
+        link: _Link,
+        direction: str,
+        src: socket.socket,
+        dst: socket.socket,
+    ) -> None:
+        """Relay whole frames ``src`` → ``dst`` until the link dies.
+
+        The partition gate is checked before *reading* each frame (a
+        partitioned link buffers in the kernel, exactly like a silent
+        network split) and again before forwarding, so a partition that
+        engages mid-frame still holds that frame back.
+        """
+        src.settimeout(_TICK_S)
+        frame_index = 0
+        try:
+            while link.alive and not self._closing:
+                if not link.enabled.is_set():
+                    link.enabled.wait(_TICK_S)
+                    continue
+                raw = self._read_frame(src, link)
+                if raw is None:
+                    return
+                while not link.enabled.is_set():
+                    if not link.alive or self._closing:
+                        return
+                    link.enabled.wait(_TICK_S)
+                frame_type = _frame_type(raw[_LEN.size :])
+                self._apply_shaping(link, len(raw))
+                corruption = self._corruption_for(link, direction, frame_index)
+                if corruption is not None and corruption.mode == "truncate":
+                    body = raw[_LEN.size :]
+                    dst.settimeout(self.connect_timeout)
+                    dst.sendall(raw[: _LEN.size] + body[: len(body) // 2])
+                    return  # receiver is now mid-frame; kill the link
+                if corruption is not None and corruption.mode == "garbage":
+                    body = raw[_LEN.size :]
+                    raw = raw[: _LEN.size] + self.plan.garbage_bytes(
+                        len(body), link.index, direction, frame_index
+                    )
+                dst.settimeout(self.connect_timeout)
+                dst.sendall(raw)
+                frame_index += 1
+                with self._lock:
+                    if direction == "up":
+                        link.frames_up += 1
+                    else:
+                        link.frames_down += 1
+                    if direction == "up" and frame_type == "outcome":
+                        self._outcomes_relayed += 1
+                        self._evaluate_plan_locked()
+        except OSError:
+            pass  # either side died: fall through to teardown
+        finally:
+            link.close()
+            with self._lock:
+                self._links.pop(link.index, None)
+
+    def _read_frame(self, src: socket.socket, link: _Link) -> bytes | None:
+        """One raw frame (prefix + body), or ``None`` on EOF/teardown.
+
+        Timeouts between frames are the idle-poll tick; once the first
+        prefix byte lands the frame is read to completion (still on the
+        tick timeout, looping while the link is alive, so a wedged peer
+        cannot park the pump forever).
+        """
+        src.settimeout(_TICK_S)
+        prefix = b""
+        while len(prefix) < _LEN.size:
+            if not prefix and not link.enabled.is_set():
+                # partition engaged while idle: hold off reading entirely
+                # (bytes back up in the kernel, like a real split)
+                if not link.alive or self._closing:
+                    return None
+                link.enabled.wait(_TICK_S)
+                continue
+            try:
+                chunk = src.recv(_LEN.size - len(prefix))
+            except socket.timeout:
+                if not link.alive or self._closing:
+                    return None
+                continue
+            if not chunk:
+                return None
+            prefix += chunk
+        (length,) = _LEN.unpack(prefix)
+        if length > MAX_FRAME_BYTES:
+            return None  # corrupt upstream of us: drop the link
+        body = b""
+        while len(body) < length:
+            try:
+                chunk = src.recv(min(length - len(body), 1 << 20))
+            except socket.timeout:
+                if not link.alive or self._closing:
+                    return None
+                continue
+            if not chunk:
+                return None
+            body += chunk
+        return prefix + body
+
+    # ------------------------------------------------------------- plan
+    def _apply_shaping(self, link: _Link, n_bytes: int) -> None:
+        """Sleep for any latency/throttle windows active on this link."""
+        with self._lock:
+            done = self._outcomes_relayed
+        delay = 0.0
+        for lat in self.plan.latencies:
+            if lat.link not in (-1, link.index):
+                continue
+            if _window_active(done, lat.after_outcomes, lat.for_outcomes):
+                delay += lat.delay_s
+        for th in self.plan.throttles:
+            if th.link not in (-1, link.index):
+                continue
+            if _window_active(done, th.after_outcomes, th.for_outcomes):
+                delay += n_bytes / th.bytes_per_s
+        if delay > 0:
+            time.sleep(delay)
+
+    def _corruption_for(
+        self, link: _Link, direction: str, frame_index: int
+    ) -> FrameCorruption | None:
+        for corruption in self.plan.corruptions:
+            if (
+                corruption.link == link.index
+                and corruption.direction == direction
+                and corruption.frame_index == frame_index
+            ):
+                return corruption
+        return None
+
+    def _evaluate_plan_locked(self) -> None:
+        """Engage/heal partitions against the relayed-outcome counter."""
+        done = self._outcomes_relayed
+        for partition in self.plan.partitions:
+            state = self._pstate[partition.link]
+            if (
+                not state["engaged"]
+                and not state["healed"]
+                and done >= partition.after_outcomes
+            ):
+                state["engaged"] = True
+                if partition.heal_after_outcomes is not None:
+                    state["heal_at"] = done + partition.heal_after_outcomes
+                live = self._links.get(partition.link)
+                if live is not None:
+                    live.enabled.clear()
+            elif (
+                state["engaged"]
+                and state["heal_at"] is not None
+                and done >= state["heal_at"]
+            ):
+                state["engaged"] = False
+                state["healed"] = True
+                live = self._links.get(partition.link)
+                if live is not None:
+                    live.enabled.set()
+
+
+def _frame_type(body: bytes) -> str:
+    """The frame's ``type`` field, or ``""`` when the body isn't ours.
+
+    Only used for outcome counting; the proxy must relay byte-exactly
+    even when it cannot parse (e.g. a garbage frame it injected itself
+    upstream of a retry).
+    """
+    try:
+        frame = json.loads(body.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError):
+        return ""
+    if isinstance(frame, dict):
+        return str(frame.get("type", ""))
+    return ""
+
+
+def _window_active(done: int, after: int, span: int | None) -> bool:
+    if done < after:
+        return False
+    return span is None or done < after + span

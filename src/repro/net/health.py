@@ -1,0 +1,184 @@
+"""Fleet health for distributed execution: policy, circuit breaker, snapshot.
+
+The coordinator owns the sockets; this module owns the *judgement*: when
+is a worker merely partitioned (give it a rejoin grace window), when is
+it flapping (quarantine it instead of endlessly redispatching), and what
+should the campaign do when the live fleet shrinks below the floor the
+operator asked for (:class:`FleetPolicy.on_fleet_loss`).
+
+Everything here is plain bookkeeping — no threads, no sockets, no
+clocks beyond the counters the coordinator feeds in — so the state
+machine is unit-testable without a single connection. Thread safety is
+the caller's job: :class:`~repro.net.RemoteExecutor` only touches its
+:class:`FleetHealth` under its own lock.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+__all__ = ["FleetPolicy", "FleetLostError", "FleetHealth", "SessionRecord"]
+
+#: the three --on-fleet-loss policies, in CLI spelling
+FLEET_LOSS_POLICIES = ("wait", "local", "fail")
+
+
+class FleetLostError(RuntimeError):
+    """Live workers fell below ``min_workers`` under ``on_fleet_loss="fail"``.
+
+    Typed (rather than a bare ``RuntimeError``) so the CLI and tests can
+    distinguish "the fleet died and the operator asked to fail fast"
+    from any other campaign failure.
+    """
+
+
+@dataclass(frozen=True)
+class FleetPolicy:
+    """Operator knobs for how a coordinator rides out fleet trouble.
+
+    Parameters
+    ----------
+    min_workers:
+        The fleet floor. When the number of live (connected, not
+        quarantined) workers drops below this *after* the fleet was once
+        up, the coordinator is "degraded" and ``on_fleet_loss`` decides
+        what happens.
+    on_fleet_loss:
+        ``"wait"`` — hold the queue until workers return (the pre-PR-8
+        behaviour, and the default). ``"local"`` — run remaining trials
+        in-process, serially, so the campaign still finishes (results
+        fingerprint identically either way). ``"fail"`` — raise
+        :class:`FleetLostError` out of the campaign promptly.
+    rejoin_grace_s:
+        How long a lost worker's in-flight trials stay parked awaiting a
+        rejoin before they are synthesized into ``crashed`` outcomes.
+        ``None`` (default) means "one heartbeat timeout"; ``0`` disables
+        the grace window (immediate crash synthesis, PR-7 semantics).
+    quarantine_flaps:
+        A worker session lost this many times within a window of
+        ``quarantine_window`` accepted outcomes is quarantined: it may
+        stay connected, but no further work is dispatched to it and it
+        no longer counts toward the live fleet. ``0`` disables the
+        breaker.
+    quarantine_window:
+        The window (measured in outcomes the coordinator accepted —
+        fleet-wide progress, not wall clock) over which losses count as
+        flapping. Progress-based windows keep the breaker deterministic
+        under chaos tests and meaningless-clock CI machines.
+    """
+
+    min_workers: int = 1
+    on_fleet_loss: str = "wait"
+    rejoin_grace_s: float | None = None
+    quarantine_flaps: int = 3
+    quarantine_window: int = 20
+
+    def validate(self) -> None:
+        if self.on_fleet_loss not in FLEET_LOSS_POLICIES:
+            raise ValueError(
+                f"on_fleet_loss must be one of {FLEET_LOSS_POLICIES}, "
+                f"got {self.on_fleet_loss!r}"
+            )
+        if self.min_workers < 1:
+            raise ValueError("min_workers must be >= 1")
+        if self.rejoin_grace_s is not None and self.rejoin_grace_s < 0:
+            raise ValueError("rejoin_grace_s must be >= 0 (or None)")
+        if self.quarantine_flaps < 0:
+            raise ValueError("quarantine_flaps must be >= 0 (0 disables)")
+        if self.quarantine_window < 1:
+            raise ValueError("quarantine_window must be >= 1")
+
+    def grace_for(self, heartbeat_timeout: float) -> float:
+        """The effective rejoin grace window in seconds."""
+        if self.rejoin_grace_s is None:
+            return float(heartbeat_timeout)
+        return float(self.rejoin_grace_s)
+
+
+@dataclass
+class SessionRecord:
+    """Lifetime bookkeeping for one worker session (one agent process)."""
+
+    session: str
+    name: str
+    joins: int = 0
+    losses: int = 0
+    rejoins: int = 0
+    quarantined: bool = False
+    connected: bool = False
+    #: fleet-wide accepted-outcome counts at each recent loss (pruned to
+    #: the quarantine window)
+    loss_marks: list[int] = field(default_factory=list)
+
+
+class FleetHealth:
+    """Per-session join/lost/rejoin accounting and the flap breaker."""
+
+    def __init__(self, policy: FleetPolicy) -> None:
+        policy.validate()
+        self.policy = policy
+        self._sessions: dict[str, SessionRecord] = {}
+
+    # ------------------------------------------------------------ transitions
+    def note_join(self, session: str, name: str) -> bool:
+        """Record a (re)join; returns True when the session was seen before."""
+        record = self._sessions.get(session)
+        rejoin = record is not None
+        if record is None:
+            record = self._sessions[session] = SessionRecord(session, name)
+        record.name = name
+        record.joins += 1
+        if rejoin:
+            record.rejoins += 1
+        record.connected = True
+        return rejoin
+
+    def note_loss(self, session: str, outcomes_done: int) -> bool:
+        """Record a loss at fleet progress ``outcomes_done``.
+
+        Returns True exactly when this loss trips the circuit breaker
+        (the session transitions into quarantine).
+        """
+        record = self._sessions.get(session)
+        if record is None:  # pragma: no cover - loss without a join
+            record = self._sessions[session] = SessionRecord(session, "?")
+        record.connected = False
+        record.losses += 1
+        flaps = self.policy.quarantine_flaps
+        if flaps <= 0 or record.quarantined:
+            return False
+        window = self.policy.quarantine_window
+        record.loss_marks = [
+            mark for mark in record.loss_marks if outcomes_done - mark < window
+        ]
+        record.loss_marks.append(outcomes_done)
+        if len(record.loss_marks) >= flaps:
+            record.quarantined = True
+            return True
+        return False
+
+    # --------------------------------------------------------------- queries
+    def is_quarantined(self, session: str) -> bool:
+        record = self._sessions.get(session)
+        return record is not None and record.quarantined
+
+    def record(self, session: str) -> SessionRecord | None:
+        return self._sessions.get(session)
+
+    def snapshot(self) -> list[dict[str, Any]]:
+        """JSON-safe per-session records, stable-ordered by worker name."""
+        return [
+            {
+                "session": record.session,
+                "name": record.name,
+                "connected": record.connected,
+                "quarantined": record.quarantined,
+                "joins": record.joins,
+                "losses": record.losses,
+                "rejoins": record.rejoins,
+            }
+            for record in sorted(
+                self._sessions.values(), key=lambda r: (r.name, r.session)
+            )
+        ]

@@ -13,10 +13,11 @@ Frame types
 -----------
 
 ``hello``     worker → coordinator: identity + ``code_tag`` + slots
-``welcome``   coordinator → worker: handshake accepted
+``welcome``   coordinator → worker: handshake accepted (carries ``chan``)
 ``reject``    coordinator → worker: handshake refused (version/tag skew)
 ``task``      coordinator → worker: one pickled TrialTask to evaluate
 ``outcome``   worker → coordinator: the pickled TrialOutcome
+``ack``       coordinator → worker: outcome for (seq, attempt) received
 ``heartbeat`` worker → coordinator: liveness beacon (also sent mid-trial)
 ``shutdown``  coordinator → worker: drain and exit
 
@@ -27,13 +28,29 @@ Payloads are pickles, so accepting a frame from an unauthenticated peer
 is arbitrary code execution. When both sides are given the same shared
 ``secret``, every frame carries an ``auth`` field: the hex HMAC-SHA256
 of the secret over the frame's canonical JSON (sorted keys, ``auth``
-excluded). A receiver configured with a secret refuses any frame whose
-MAC is missing or wrong (:class:`AuthenticationError`) *before* the
-payload is unpickled. The secret never crosses the wire. This is
-integrity/authenticity only — frames are not encrypted — and there is
-no replay nonce, so a non-loopback deployment still assumes the network
-is trusted; without a secret it must be *fully* trusted (any host that
-can reach the port can execute code).
+excluded), keyed per *channel* (see below). A receiver configured with
+a secret refuses any frame whose MAC is missing or wrong
+(:class:`AuthenticationError`) *before* the payload is unpickled. The
+secret never crosses the wire. This is integrity/authenticity only —
+frames are not encrypted — so a non-loopback deployment still assumes
+the network cannot read traffic it should not; without a secret it must
+be *fully* trusted (any host that can reach the port can execute code).
+
+Replay protection
+-----------------
+
+Two mechanisms close the replay gap for authenticated links. First,
+every signed frame carries a monotonic per-connection sequence number
+(``nseq``) *inside* the signed body; a receiver that tracks the counter
+(:class:`FrameStream` does) refuses any frame whose ``nseq`` is not the
+exact next value, so a captured ``task``/``outcome`` frame cannot be
+replayed on the same connection. Second, the coordinator issues each
+connection a random channel token (``chan``, carried in ``welcome``)
+that both sides mix into the MAC input for all post-handshake frames,
+so frames captured on one connection never verify on another. The
+pre-channel ``hello``/``welcome``/``reject`` frames use the empty
+channel; replaying a ``hello`` can at worst open a throwaway session,
+never execute a payload.
 
 No-hang discipline: every blocking socket operation in this package
 arms an explicit timeout first (machine-enforced by lint rule RPR007);
@@ -52,6 +69,7 @@ import json
 import pickle
 import socket
 import struct
+import threading
 from typing import Any
 
 __all__ = [
@@ -62,6 +80,7 @@ __all__ = [
     "ConnectionClosed",
     "HandshakeRejected",
     "AuthenticationError",
+    "FrameStream",
     "send_frame",
     "recv_frame",
     "encode_payload",
@@ -69,7 +88,7 @@ __all__ = [
 ]
 
 #: bumped on any incompatible frame-format change; checked in the handshake
-PROTOCOL_VERSION = 1
+PROTOCOL_VERSION = 2
 
 #: hard ceiling on one frame body — a corrupt length prefix must not
 #: make the receiver try to allocate gigabytes
@@ -99,9 +118,16 @@ class AuthenticationError(ProtocolError):
     """A frame failed HMAC verification (bad or missing shared secret)."""
 
 
-def _frame_mac(secret: str, frame: dict[str, Any]) -> str:
-    """Hex HMAC-SHA256 of ``secret`` over the frame's canonical JSON."""
+def _frame_mac(secret: str, frame: dict[str, Any], chan: str = "") -> str:
+    """Hex HMAC-SHA256 over the frame's canonical JSON, keyed per channel.
+
+    ``chan`` is the per-connection channel token (empty during the
+    handshake); mixing it into the MAC input means a frame signed for
+    one connection never verifies on another.
+    """
     body = json.dumps(frame, sort_keys=True).encode("utf-8")
+    if chan:
+        body = chan.encode("utf-8") + b"\x00" + body
     return hmac.new(secret.encode("utf-8"), body, hashlib.sha256).hexdigest()
 
 
@@ -110,16 +136,23 @@ def send_frame(
     frame: dict[str, Any],
     secret: str | None = None,
     timeout: float = SEND_TIMEOUT,
+    seq: int | None = None,
+    chan: str = "",
 ) -> None:
     """Serialize one frame and write it fully within ``timeout`` seconds.
 
     With a ``secret``, the frame is signed (an ``auth`` HMAC field is
-    added) so the receiver can verify it came from a holder of the same
-    secret. Caller owns write-side locking when several threads share
-    the socket (the worker's heartbeat thread does).
+    added, keyed with ``chan``) so the receiver can verify it came from
+    a holder of the same secret; a non-``None`` ``seq`` is embedded as
+    ``nseq`` inside the signed body for replay protection. Caller owns
+    write-side locking when several threads share the socket (the
+    worker's heartbeat thread does) — or uses :class:`FrameStream`,
+    which handles both the lock and the counters.
     """
     if secret is not None:
-        frame = dict(frame, auth=_frame_mac(secret, frame))
+        if seq is not None:
+            frame = dict(frame, nseq=int(seq))
+        frame = dict(frame, auth=_frame_mac(secret, frame, chan))
     body = json.dumps(frame, sort_keys=True).encode("utf-8")
     if len(body) > MAX_FRAME_BYTES:
         raise ProtocolError(
@@ -133,6 +166,8 @@ def recv_frame(
     sock: socket.socket,
     timeout: float = 10.0,
     secret: str | None = None,
+    expect_seq: int | None = None,
+    chan: str = "",
 ) -> dict[str, Any] | None:
     """Read one complete frame, or ``None`` if nothing arrived in time.
 
@@ -141,10 +176,13 @@ def recv_frame(
     peer wedged mid-write and raises :class:`ProtocolError` — returning
     ``None`` there would silently discard the partial prefix and
     desynchronize the stream. EOF raises :class:`ConnectionClosed`.
-    With a ``secret``, the frame's ``auth`` MAC is verified (and
-    stripped) before the frame is returned; a missing or wrong MAC
-    raises :class:`AuthenticationError` — in particular, no pickled
-    ``payload`` from an unauthenticated peer ever reaches the caller.
+    With a ``secret``, the frame's ``auth`` MAC is verified (keyed with
+    ``chan``, and stripped) before the frame is returned; a missing or
+    wrong MAC raises :class:`AuthenticationError` — in particular, no
+    pickled ``payload`` from an unauthenticated peer ever reaches the
+    caller. A non-``None`` ``expect_seq`` additionally requires the
+    signed body to carry exactly that ``nseq`` — a stale or replayed
+    frame raises :class:`AuthenticationError` instead of being acted on.
     """
     sock.settimeout(timeout)
     prefix = b""
@@ -182,11 +220,17 @@ def recv_frame(
     if secret is not None:
         mac = frame.pop("auth", None)
         if not isinstance(mac, str) or not hmac.compare_digest(
-            mac, _frame_mac(secret, frame)
+            mac, _frame_mac(secret, frame, chan)
         ):
             raise AuthenticationError(
                 f"{frame.get('type', '?')!r} frame failed HMAC verification "
                 "(peer holds a different shared secret, or none)"
+            )
+        nseq = frame.pop("nseq", None)
+        if expect_seq is not None and nseq != expect_seq:
+            raise AuthenticationError(
+                f"{frame.get('type', '?')!r} frame carries sequence "
+                f"{nseq!r}, expected {expect_seq} — replayed or out-of-order"
             )
     return frame
 
@@ -203,6 +247,67 @@ def _recv_exact(sock: socket.socket, n: int) -> bytes:
         chunks.append(chunk)
         remaining -= len(chunk)
     return b"".join(chunks)
+
+
+class FrameStream:
+    """One connection's framed view of a socket, with replay counters.
+
+    Wraps a connected socket and drives :func:`send_frame` /
+    :func:`recv_frame` with everything a single connection needs to keep
+    straight: a write lock (so a heartbeat thread and a task thread can
+    share the socket), the monotonic ``nseq`` counters for both
+    directions, and the channel token once :meth:`bind` learns it from
+    the handshake. Counters only engage when a ``secret`` is set —
+    unauthenticated loopback streams stay wire-compatible with v1 peers
+    of this codebase's tests that speak raw frames.
+    """
+
+    def __init__(self, sock: socket.socket, secret: str | None = None) -> None:
+        self.sock = sock
+        self.secret = secret
+        self.chan = ""
+        self._send_seq = 0
+        self._recv_seq = 0
+        self._send_lock = threading.Lock()
+
+    def bind(self, chan: str) -> None:
+        """Adopt the channel token issued in the ``welcome`` frame."""
+        self.chan = str(chan or "")
+
+    def send(self, frame: dict[str, Any], timeout: float = SEND_TIMEOUT) -> None:
+        """Sign (when secreted), number, and write one frame atomically."""
+        with self._send_lock:
+            seq = self._send_seq if self.secret is not None else None
+            send_frame(
+                self.sock,
+                frame,
+                secret=self.secret,
+                timeout=timeout,
+                seq=seq,
+                chan=self.chan,
+            )
+            if self.secret is not None:
+                self._send_seq += 1
+
+    def recv(self, timeout: float = 10.0) -> dict[str, Any] | None:
+        """Read one frame, enforcing the next expected ``nseq``."""
+        expect = self._recv_seq if self.secret is not None else None
+        frame = recv_frame(
+            self.sock,
+            timeout=timeout,
+            secret=self.secret,
+            expect_seq=expect,
+            chan=self.chan,
+        )
+        if frame is not None and self.secret is not None:
+            self._recv_seq += 1
+        return frame
+
+    def close(self) -> None:
+        try:
+            self.sock.close()
+        except OSError:
+            pass  # nothing to salvage from a close() failure
 
 
 # ------------------------------------------------------------ payloads

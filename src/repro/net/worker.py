@@ -2,10 +2,22 @@
 
 ``repro worker --connect HOST:PORT`` runs one of these: dial the
 coordinator, introduce yourself (protocol version + code tag + slot
-count), then loop pulling tasks, executing them with the very same
-:func:`~repro.exec.payload.execute_trial` every other executor uses,
-and streaming outcomes back. A background thread beats a heartbeat so
-the coordinator can tell "slow" from "dead".
+count + a stable ``session_id``), then loop pulling tasks, executing
+them with the very same :func:`~repro.exec.payload.execute_trial` every
+other executor uses, and streaming outcomes back. A background thread
+beats a heartbeat so the coordinator can tell "slow" from "dead".
+
+Resilience discipline: the agent survives the network, not just the
+trial. The initial dial retries ``connect_retries`` times with capped
+exponential backoff (workers may legitimately start before their
+coordinator); an *established* connection that drops triggers a bounded
+reconnect loop that re-handshakes under the same ``session_id``, so the
+coordinator recognizes the agent as a rejoin rather than a stranger.
+Every outcome is kept in an outbox until the coordinator ``ack``s it —
+outcomes finished while partitioned are redelivered on the next
+connection, and the coordinator's attempt fencing deduplicates any the
+old connection managed to deliver. Both retry loops are bounded with a
+backoff cap (machine-enforced by lint rule RPR008).
 
 Outcome discipline: every ``task`` frame with a usable ``seq`` produces
 exactly one ``outcome`` frame — a trial past its ``timeout_s`` deadline
@@ -32,17 +44,18 @@ import socket
 import sys
 import threading
 import time
+import uuid
 from typing import Any, Callable
 
 from ..exec.cache import TrialCache, code_version_tag
 from ..exec.payload import TrialOutcome, execute_trial
+from ..exec.retry import RetryPolicy
 from .protocol import (
     PROTOCOL_VERSION,
     ConnectionClosed,
+    FrameStream,
     HandshakeRejected,
     ProtocolError,
-    recv_frame,
-    send_frame,
     encode_payload,
     decode_payload,
 )
@@ -82,8 +95,19 @@ class WorkerAgent:
     secret:
         Shared secret for frame authentication; must match the
         coordinator's. With one set, every frame this agent sends is
-        HMAC-signed and every frame it receives must verify — required
-        whenever the coordinator listens beyond loopback.
+        HMAC-signed, sequence-numbered and channel-bound, and every
+        frame it receives must verify — required whenever the
+        coordinator listens beyond loopback.
+    connect_retries, connect_backoff:
+        Extra *initial* dial attempts (default 0: fail fast, the PR-7
+        behaviour) and the base backoff between them, doubling per
+        attempt up to :class:`~repro.exec.RetryPolicy`'s cap — lets a
+        worker start before its coordinator.
+    reconnect_retries, reconnect_backoff:
+        Bounded reconnect attempts after an *established* connection
+        drops (default 5), with capped exponential backoff; 0 restores
+        the PR-7 die-on-disconnect behaviour. The re-handshake reuses
+        :attr:`session_id`, so the coordinator treats it as a rejoin.
     """
 
     def __init__(
@@ -97,6 +121,10 @@ class WorkerAgent:
         secret: str | None = None,
         connect_timeout: float = 10.0,
         idle_timeout: float = 0.5,
+        connect_retries: int = 0,
+        connect_backoff: float = 0.5,
+        reconnect_retries: int = 5,
+        reconnect_backoff: float = 0.25,
         log: Callable[[str], None] = _stderr_log,
     ) -> None:
         if slots < 1:
@@ -112,54 +140,115 @@ class WorkerAgent:
         self.secret = secret
         self.connect_timeout = float(connect_timeout)
         self.idle_timeout = float(idle_timeout)
+        self.connect_retries = max(0, int(connect_retries))
+        self.connect_backoff = float(connect_backoff)
+        self.reconnect_retries = max(0, int(reconnect_retries))
+        self.reconnect_backoff = float(reconnect_backoff)
         self.log = log
         self.n_executed = 0
         self.n_cache_hits = 0
+        self.n_reconnects = 0
+        #: stable for the life of this process: a reconnect under the
+        #: same session_id is a *rejoin*, a restarted process is not
+        self.session_id = uuid.uuid4().hex
+        self._stream: FrameStream | None = None
+        self._state_lock = threading.Lock()
+        self._executing: set[int] = set()
+        self._outbox: dict[tuple[int, int], dict[str, Any]] = {}
+        self._clean_disconnect = True
 
     # ------------------------------------------------------------- running
     def run(self) -> int:
         """Serve until the coordinator says shutdown; returns exit code."""
+        policy = RetryPolicy(
+            max_retries=self.connect_retries, backoff_s=self.connect_backoff
+        )
         try:
-            sock = socket.create_connection(
-                (self.host, self.port), timeout=self.connect_timeout
-            )
-        except OSError as exc:
-            self.log(f"worker: cannot reach {self.host}:{self.port} ({exc})")
-            return EXIT_CONNECT_FAILED
-        try:
-            interval = self._handshake(sock)
+            dialed = self._dial(self.connect_retries, policy)
         except HandshakeRejected as exc:
             self.log(f"worker: rejected by coordinator: {exc}")
-            sock.close()
             return EXIT_REJECTED
-        except (ProtocolError, OSError) as exc:
-            self.log(f"worker: handshake failed: {exc}")
-            sock.close()
+        if dialed is None:
             return EXIT_CONNECT_FAILED
+        stream, interval = dialed
         self.log(
             f"worker {self.name!r}: connected to {self.host}:{self.port} "
             f"({self.slots} slot{'s' if self.slots != 1 else ''})"
         )
-        send_lock = threading.Lock()
-        stop = threading.Event()
-        beater = threading.Thread(
-            target=self._heartbeat_loop,
-            args=(sock, interval, stop, send_lock),
-            name="worker-heartbeat",
-            daemon=True,
-        )
-        beater.start()
-        try:
-            return self._serve_loop(sock, send_lock)
-        finally:
-            stop.set()
-            beater.join(timeout=2.0)
-            sock.close()
+        while True:
+            code = self._serve_session(stream, interval)
+            if code is not None:
+                return code
+            dialed = self._redial()
+            if dialed is None:
+                self.log(f"worker {self.name!r}: could not reconnect; exiting")
+                return EXIT_OK if self._clean_disconnect else EXIT_CONNECT_FAILED
+            stream, interval = dialed
+            self.n_reconnects += 1
+            self.log(
+                f"worker {self.name!r}: reconnected to "
+                f"{self.host}:{self.port} (rejoin "
+                f"#{self.n_reconnects}, session {self.session_id[:8]})"
+            )
 
-    def _handshake(self, sock: socket.socket) -> float:
+    # ---------------------------------------------------------- connecting
+    def _dial(
+        self, retries: int, policy: RetryPolicy
+    ) -> tuple[FrameStream, float] | None:
+        """Bounded dial + handshake; ``None`` when every attempt failed.
+
+        :class:`HandshakeRejected` propagates — being refused is a
+        decision, not a blip, and retrying would spam the coordinator.
+        """
+        attempts = max(0, int(retries)) + 1
+        for attempt in range(attempts):
+            if attempt:
+                time.sleep(policy.delay(attempt - 1))
+            sock: socket.socket | None = None
+            try:
+                sock = socket.create_connection(
+                    (self.host, self.port), timeout=self.connect_timeout
+                )
+                stream = FrameStream(sock, secret=self.secret)
+                interval = self._handshake(stream)
+                return stream, interval
+            except HandshakeRejected:
+                if sock is not None:
+                    sock.close()
+                raise
+            except (ProtocolError, OSError) as exc:
+                if sock is not None:
+                    sock.close()
+                self.log(
+                    f"worker: cannot reach {self.host}:{self.port} "
+                    f"(attempt {attempt + 1}/{attempts}: {exc})"
+                )
+        return None
+
+    def _redial(self) -> tuple[FrameStream, float] | None:
+        """Bounded reconnect after an established connection dropped."""
+        if self.reconnect_retries < 1:
+            return None
+        policy = RetryPolicy(
+            max_retries=self.reconnect_retries,
+            backoff_s=self.reconnect_backoff,
+            max_backoff_s=2.0,
+        )
+        try:
+            # _dial counts "retries" on top of a first attempt, so the
+            # total attempt budget here is exactly reconnect_retries
+            return self._dial(self.reconnect_retries - 1, policy)
+        except HandshakeRejected as exc:
+            self.log(f"worker {self.name!r}: rejected on rejoin: {exc}")
+            return None
+
+    def _handshake(self, stream: FrameStream) -> float:
         """Hello/welcome exchange; returns the heartbeat interval."""
-        send_frame(
-            sock,
+        with self._state_lock:
+            inflight = sorted(
+                self._executing | {seq for seq, _ in self._outbox}
+            )
+        stream.send(
             {
                 "type": "hello",
                 "version": PROTOCOL_VERSION,
@@ -167,10 +256,11 @@ class WorkerAgent:
                 "name": self.name,
                 "slots": self.slots,
                 "pid": os.getpid(),
-            },
-            secret=self.secret,
+                "session": self.session_id,
+                "inflight": inflight,
+            }
         )
-        reply = recv_frame(sock, timeout=self.connect_timeout, secret=self.secret)
+        reply = stream.recv(timeout=self.connect_timeout)
         if reply is None:
             raise ProtocolError("coordinator did not answer the hello")
         if reply.get("type") == "reject":
@@ -178,39 +268,70 @@ class WorkerAgent:
         if reply.get("type") != "welcome":
             raise ProtocolError(f"expected welcome, got {reply.get('type')!r}")
         self.name = str(reply.get("name", self.name))
+        stream.bind(str(reply.get("chan", "")))
         return max(0.05, float(reply.get("heartbeat_interval", 2.0)))
 
+    # -------------------------------------------------------------- serving
+    def _serve_session(
+        self, stream: FrameStream, interval: float
+    ) -> int | None:
+        """One established connection's lifetime.
+
+        Returns an exit code when the agent should stop (shutdown
+        frame), or ``None`` when the connection dropped and a reconnect
+        should be attempted.
+        """
+        with self._state_lock:
+            self._stream = stream
+            backlog = [self._outbox[key] for key in sorted(self._outbox)]
+        stop = threading.Event()
+        beater = threading.Thread(
+            target=self._heartbeat_loop,
+            args=(stream, interval, stop),
+            name="worker-heartbeat",
+            daemon=True,
+        )
+        beater.start()
+        try:
+            for frame in backlog:
+                # outcomes finished while disconnected: redeliver first,
+                # the coordinator deduplicates and acks
+                try:
+                    stream.send(frame)
+                except (OSError, ProtocolError) as exc:
+                    self.log(
+                        f"worker {self.name!r}: redelivery failed: {exc}"
+                    )
+                    self._clean_disconnect = False
+                    return None
+            return self._serve_loop(stream)
+        finally:
+            stop.set()
+            beater.join(timeout=2.0)
+            stream.close()
+
     def _heartbeat_loop(
-        self,
-        sock: socket.socket,
-        interval: float,
-        stop: threading.Event,
-        send_lock: threading.Lock,
+        self, stream: FrameStream, interval: float, stop: threading.Event
     ) -> None:
         while not stop.wait(interval):
             try:
-                with send_lock:
-                    send_frame(
-                        sock,
-                        {"type": "heartbeat", "name": self.name},
-                        secret=self.secret,
-                    )
+                stream.send({"type": "heartbeat", "name": self.name})
             except (OSError, ProtocolError):
                 return  # the serve loop will notice the dead socket too
 
-    def _serve_loop(self, sock: socket.socket, send_lock: threading.Lock) -> int:
+    def _serve_loop(self, stream: FrameStream) -> int | None:
         pool: list[threading.Thread] = []
         while True:
             try:
-                frame = recv_frame(
-                    sock, timeout=self.idle_timeout, secret=self.secret
-                )
+                frame = stream.recv(timeout=self.idle_timeout)
             except ConnectionClosed:
                 self.log(f"worker {self.name!r}: coordinator went away")
-                return EXIT_OK
+                self._clean_disconnect = True
+                return None
             except (ProtocolError, OSError) as exc:
                 self.log(f"worker {self.name!r}: protocol error: {exc}")
-                return EXIT_CONNECT_FAILED
+                self._clean_disconnect = False
+                return None
             if frame is None:
                 pool = [t for t in pool if t.is_alive()]
                 continue
@@ -223,14 +344,20 @@ class WorkerAgent:
                 for thread in pool:
                     thread.join(timeout=5.0)
                 return EXIT_OK
+            if kind == "ack":
+                seq = frame.get("seq")
+                attempt = frame.get("attempt")
+                with self._state_lock:
+                    self._outbox.pop((seq, attempt), None)
+                continue
             if kind != "task":
                 continue  # forward compatibility: ignore unknown frames
             if self.slots == 1:
-                self._run_task(sock, send_lock, frame)
+                self._run_task(frame)
             else:
                 thread = threading.Thread(
                     target=self._run_task,
-                    args=(sock, send_lock, frame),
+                    args=(frame,),
                     name=f"worker-slot-{len(pool)}",
                     daemon=True,
                 )
@@ -238,18 +365,15 @@ class WorkerAgent:
                 pool.append(thread)
 
     # ------------------------------------------------------------ executing
-    def _run_task(
-        self,
-        sock: socket.socket,
-        send_lock: threading.Lock,
-        frame: dict[str, Any],
-    ) -> None:
+    def _run_task(self, frame: dict[str, Any]) -> None:
         """Evaluate one task frame and always report exactly one outcome.
 
         The coordinator tracks this seq in its assignment table until an
         outcome arrives (or the worker dies), so swallowing a failure
         here would park the trial forever: anything that prevents a real
-        outcome is synthesized into a ``crashed`` one instead.
+        outcome is synthesized into a ``crashed`` one instead. The
+        outcome stays in the outbox until acked, so a connection that
+        dies mid-report redelivers it on the next session.
         """
         seq = frame.get("seq")
         if not isinstance(seq, int):
@@ -259,6 +383,8 @@ class WorkerAgent:
             return
         attempt = frame.get("attempt")
         attempt = attempt if isinstance(attempt, int) else 0
+        with self._state_lock:
+            self._executing.add(seq)
         try:
             outcome = self._evaluate(frame)
         except Exception as exc:  # noqa: BLE001 - unpickle/cache/any failure
@@ -273,20 +399,26 @@ class WorkerAgent:
                 ),
                 worker=self.name,
             )
+        report = {
+            "type": "outcome",
+            "seq": outcome.seq,
+            "attempt": outcome.attempt,
+            "payload": encode_payload(outcome),
+        }
+        with self._state_lock:
+            # outbox before executing-set removal: the seq is always in
+            # at least one of them, so a rejoin hello never omits it
+            self._outbox[(outcome.seq, outcome.attempt)] = report
+            self._executing.discard(seq)
+            stream = self._stream
         try:
-            with send_lock:
-                send_frame(
-                    sock,
-                    {
-                        "type": "outcome",
-                        "seq": outcome.seq,
-                        "attempt": outcome.attempt,
-                        "payload": encode_payload(outcome),
-                    },
-                    secret=self.secret,
-                )
+            if stream is not None:
+                stream.send(report)
         except (OSError, ProtocolError) as exc:
-            self.log(f"worker {self.name!r}: could not report outcome: {exc}")
+            self.log(
+                f"worker {self.name!r}: could not report outcome "
+                f"(kept for redelivery): {exc}"
+            )
 
     def _evaluate(self, frame: dict[str, Any]) -> TrialOutcome:
         """Decode, run (cache-aware, deadline-aware) and store one task."""

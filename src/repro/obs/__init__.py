@@ -22,6 +22,8 @@ from .events import (
     EVT_TRIAL_STARTED,
     EVT_WORKER_JOINED,
     EVT_WORKER_LOST,
+    EVT_WORKER_QUARANTINED,
+    EVT_WORKER_REJOINED,
     NULL_SINK,
     Event,
     JsonlSink,
@@ -63,6 +65,8 @@ __all__ = [
     "EVT_CHECKPOINT",
     "EVT_WORKER_JOINED",
     "EVT_WORKER_LOST",
+    "EVT_WORKER_REJOINED",
+    "EVT_WORKER_QUARANTINED",
     "Span",
     "SpanTracer",
     "NullTracer",

@@ -43,6 +43,8 @@ __all__ = [
     "EVT_CHECKPOINT",
     "EVT_WORKER_JOINED",
     "EVT_WORKER_LOST",
+    "EVT_WORKER_REJOINED",
+    "EVT_WORKER_QUARANTINED",
     "Event",
     "Sink",
     "NullSink",
@@ -65,6 +67,8 @@ EVT_EXPLORER_TELL = "explorer_tell"
 EVT_CHECKPOINT = "checkpoint_reported"
 EVT_WORKER_JOINED = "worker_joined"
 EVT_WORKER_LOST = "worker_lost"
+EVT_WORKER_REJOINED = "worker_rejoined"
+EVT_WORKER_QUARANTINED = "worker_quarantined"
 
 
 @dataclass(frozen=True)

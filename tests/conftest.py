@@ -2,10 +2,20 @@
 
 from __future__ import annotations
 
+import os
+import sys
+
 import numpy as np
 import pytest
 
 import repro.airdrop  # noqa: F401  (registers Airdrop-v0)
+
+# test modules import helpers from each other (test_net_chaos reuses
+# test_net's campaign harness); make that work regardless of how pytest
+# was invoked
+_TESTS_DIR = os.path.dirname(os.path.abspath(__file__))
+if _TESTS_DIR not in sys.path:
+    sys.path.insert(0, _TESTS_DIR)
 
 
 @pytest.fixture

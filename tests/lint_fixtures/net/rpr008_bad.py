@@ -1,0 +1,26 @@
+"""RPR008 bad fixture: unbounded reconnect loops and uncapped backoff."""
+
+import socket
+import time
+
+
+def reconnect_forever(host, port):
+    while True:  # finding: redial loop with no attempt bound
+        try:
+            return socket.create_connection((host, port), timeout=5.0)
+        except OSError:
+            time.sleep(1.0)
+
+
+def spin_dial(sock, addr):
+    sock.settimeout(5.0)
+    while 1:  # finding: constant-true loop around connect()
+        try:
+            sock.connect(addr)
+            return sock
+        except OSError:
+            continue
+
+
+def backoff_without_ceiling(attempt):
+    time.sleep(0.5 * 2 ** attempt)  # finding: exponential with no min() cap

@@ -1,0 +1,37 @@
+"""RPR008 good fixture: bounded retries and capped backoff."""
+
+import socket
+import time
+
+
+def reconnect_bounded(host, port, retries):
+    for attempt in range(retries + 1):
+        if attempt:
+            time.sleep(min(0.5 * 2 ** (attempt - 1), 30.0))
+        try:
+            return socket.create_connection((host, port), timeout=5.0)
+        except OSError:
+            continue
+    return None
+
+
+def serve_until_shutdown(conn, closing):
+    # a constant-true loop is fine when it does not redial anything
+    conn.settimeout(1.0)
+    while True:
+        if closing.is_set():
+            return
+        try:
+            conn.recv(4096)
+        except socket.timeout:
+            continue
+
+
+def accept_loop(listener, closing):
+    # loop condition is not constant-true: bounded by the closing flag
+    listener.settimeout(0.2)
+    while not closing.is_set():
+        try:
+            listener.accept()
+        except socket.timeout:
+            continue

@@ -49,6 +49,7 @@ BAD_EXPECTATIONS = [
     ("exec/rpr005_bad.py", "RPR005", 2),
     ("exec/rpr000_bad.py", "RPR000", 1),
     ("net/rpr007_bad.py", "RPR007", 5),
+    ("net/rpr008_bad.py", "RPR008", 3),
 ]
 
 
@@ -70,6 +71,7 @@ def test_rule_fires_on_bad_fixture(relative, rule_id, n_expected):
         "airdrop/rpr004_good.py",
         "exec/rpr005_good.py",
         "net/rpr007_good.py",
+        "net/rpr008_good.py",
         "other/scoped_silent.py",
     ],
 )

@@ -46,6 +46,7 @@ from repro.net import (
     PROTOCOL_VERSION,
     AuthenticationError,
     ConnectionClosed,
+    FrameStream,
     ProtocolError,
     RemoteExecutor,
     WorkerAgent,
@@ -566,7 +567,8 @@ class TestWorkerRobustness:
         a.settimeout(5.0)
         b.settimeout(5.0)
         try:
-            agent._run_task(a, threading.Lock(), frame)
+            agent._stream = FrameStream(a)
+            agent._run_task(frame)
             reply = recv_frame(b, timeout=5.0)
         finally:
             a.close()
@@ -635,7 +637,8 @@ class TestWorkerRobustness:
         a.settimeout(0.2)
         b.settimeout(0.2)
         try:
-            agent._run_task(a, threading.Lock(), {"type": "task"})
+            agent._stream = FrameStream(a)
+            agent._run_task({"type": "task"})
             assert recv_frame(b, timeout=0.2) is None  # nothing was sent
         finally:
             a.close()
