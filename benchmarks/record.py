@@ -19,6 +19,12 @@ recording doubles as a correctness witness: two recordings at the same
 steps/seed on the same code must agree fingerprint-for-fingerprint, and
 ``table1_serial`` vs ``table1_vec8`` wall times back the repo's claimed
 vectorization speedup (asserted ``>= --min-speedup`` at record time).
+
+``--append-history FILE`` additionally appends one compact JSONL line
+per successful recording (timestamp, sha, per-workload min + fingerprint
+digest, derived speedup) — the across-commits performance trajectory CI
+persists, where per-sha ``BENCH_<sha>.json`` artifacts individually
+expire.
 """
 
 from __future__ import annotations
@@ -189,7 +195,39 @@ def record(args: argparse.Namespace) -> int:
         print(f"FAIL: vectorized speedup {speedup:.2f}x is below the "
               f"{args.min_speedup:.1f}x floor", file=sys.stderr)
         return 1
+    if args.append_history:
+        append_history(args.append_history, payload)
+        print(f"appended history line to {args.append_history}")
     return 0
+
+
+def append_history(path: str, payload: dict[str, Any]) -> None:
+    """Append one compact trajectory line for a successful recording.
+
+    The line keeps only what a trend plot or bisection needs — min wall
+    time and fingerprint digest per workload — so years of history stay
+    a few kilobytes. Appended after the gate checks pass, so the history
+    never contains recordings that failed determinism or the speedup
+    floor.
+    """
+    line = {
+        "recorded_at": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+        "sha": payload["sha"],
+        "steps": payload["steps"],
+        "seed": payload["seed"],
+        "rounds": payload["rounds"],
+        "workloads": {
+            name: {
+                "min_s": entry["min_s"],
+                "fingerprint_sha": entry["fingerprint_sha"],
+            }
+            for name, entry in sorted(payload["workloads"].items())
+        },
+        "vec8_speedup": payload["derived"]["vec8_speedup"],
+    }
+    with open(path, "a", encoding="utf-8") as handle:
+        handle.write(json.dumps(line, sort_keys=True))
+        handle.write("\n")
 
 
 def _load(path: str) -> dict[str, Any]:
@@ -270,6 +308,11 @@ def main(argv: list[str] | None = None) -> int:
                         help="max tolerated per-workload slowdown in compare mode")
     parser.add_argument("--compare", nargs=2, metavar=("BASELINE", "CANDIDATE"),
                         default=None, help="gate CANDIDATE against BASELINE")
+    parser.add_argument("--append-history", type=str, default=None,
+                        metavar="FILE",
+                        help="after a successful record, append one compact "
+                        "JSONL trajectory line (timestamp, sha, per-workload "
+                        "min_s + fingerprint) to FILE")
     args = parser.parse_args(argv)
     if args.compare:
         return compare(args)

@@ -16,7 +16,12 @@ from .determinism import (
     UnseededRngRule,
     WallClockRule,
 )
-from .hygiene import SocketTimeoutRule, SwallowedExceptionRule, UnboundedRetryRule
+from .hygiene import (
+    BlockingHandlerRule,
+    SocketTimeoutRule,
+    SwallowedExceptionRule,
+    UnboundedRetryRule,
+)
 
 __all__ = [
     "ProjectRule",
@@ -36,6 +41,7 @@ def default_rules() -> list[Rule]:
         SwallowedExceptionRule(),
         SocketTimeoutRule(),
         UnboundedRetryRule(),
+        BlockingHandlerRule(),
     ]
 
 

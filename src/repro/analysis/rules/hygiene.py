@@ -7,7 +7,12 @@ from typing import Iterator
 
 from ..engine import FileContext, Finding, Rule
 
-__all__ = ["SwallowedExceptionRule", "SocketTimeoutRule", "UnboundedRetryRule"]
+__all__ = [
+    "SwallowedExceptionRule",
+    "SocketTimeoutRule",
+    "UnboundedRetryRule",
+    "BlockingHandlerRule",
+]
 
 _BROAD = ("Exception", "BaseException")
 
@@ -235,6 +240,66 @@ class UnboundedRetryRule(Rule):
                     return node
             stack.extend(ast.iter_child_nodes(node))
         return None
+
+
+#: methods that park the calling thread until someone else acts
+_PARKING_METHODS = frozenset({"wait", "join", "acquire"})
+
+
+class BlockingHandlerRule(Rule):
+    """RPR009: unbounded blocking in the ``repro.serve`` request path.
+
+    The campaign service handles every request on an ``http.server``
+    thread. Three shapes are flagged anywhere in the package:
+    ``sleep(...)`` in any form (polling belongs on the client; the
+    server streams), and ``.wait()`` / ``.join()`` / ``.acquire()``
+    calls with no deadline — no positional timeout argument and either
+    no ``timeout=`` keyword or an explicit ``timeout=None``. Long waits
+    must be loops of bounded waits that re-check the drain flag, so a
+    SIGTERM is always observed; a handler parked forever on a campaign
+    that was checkpointed away never returns and leaks its thread.
+    """
+
+    rule_id = "RPR009"
+    title = "request thread sleeps or blocks without a deadline"
+    rationale = (
+        "a served campaign can outlive any request; handlers that sleep "
+        "or park unboundedly leak threads and make graceful drain hang "
+        "instead of checkpointing"
+    )
+    scope = ("serve",)
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            name = SocketTimeoutRule._method_name(node)
+            if name == "sleep":
+                yield self.finding(
+                    ctx,
+                    node,
+                    "sleep() in the serve package; stream incremental "
+                    "results or loop on a bounded cond.wait(timeout=...) "
+                    "that re-checks the drain flag",
+                )
+            elif name in _PARKING_METHODS and self._unbounded(node):
+                yield self.finding(
+                    ctx,
+                    node,
+                    f".{name}() with no timeout parks this thread until "
+                    "someone else acts; pass timeout=... and re-check "
+                    "terminal/drain state in a loop",
+                )
+
+    @staticmethod
+    def _unbounded(call: ast.Call) -> bool:
+        """No positional deadline and no (non-None) ``timeout=``."""
+        if call.args:
+            return False
+        for kw in call.keywords:
+            if kw.arg == "timeout":
+                return isinstance(kw.value, ast.Constant) and kw.value.value is None
+        return True
 
 
 def _is_constant_true(test: ast.expr) -> bool:

@@ -37,6 +37,14 @@ Commands
     passes the code-version handshake, and executes trials it is
     dealt until the coordinator shuts the fleet down.
 
+``serve``
+    Run the campaign-as-a-service HTTP API: clients submit campaign
+    specs as JSON (``POST /campaigns``), poll status, stream committed
+    trials as chunked JSONL, fetch Pareto fronts and Perfetto traces,
+    and watch a live dashboard at ``/``. SIGTERM drains gracefully —
+    running campaigns checkpoint to their journals and resume on the
+    next ``repro serve`` over the same ``--state-dir``.
+
 ``lint``
     Run the determinism & reproducibility static-analysis pass
     (:mod:`repro.analysis`) over a source tree: AST rules for RNG /
@@ -287,6 +295,112 @@ def _add_worker_parser(subparsers) -> None:
         "a cap",
     )
     _add_secret_argument(p)
+
+
+def _add_serve_parser(subparsers) -> None:
+    p = subparsers.add_parser(
+        "serve", help="run the campaign-as-a-service HTTP API + dashboard"
+    )
+    p.add_argument(
+        "--listen",
+        type=str,
+        default="127.0.0.1:8321",
+        metavar="HOST:PORT",
+        help="bind address (port 0 picks a free port; the bound address "
+        "is printed). Leaving 127.0.0.1 without --token warns: anyone "
+        "who can reach the port can schedule work and read results",
+    )
+    p.add_argument(
+        "--token",
+        action="append",
+        default=None,
+        metavar="TOKEN",
+        help="bearer token identifying one tenant; repeat for several "
+        "tenants ($REPRO_SERVE_TOKEN adds one more). No tokens = open "
+        "mode, every client shares the 'public' tenant",
+    )
+    p.add_argument(
+        "--max-concurrent",
+        type=int,
+        default=2,
+        metavar="N",
+        help="campaigns running at once across all tenants (others queue, "
+        "served round-robin per tenant)",
+    )
+    p.add_argument(
+        "--state-dir",
+        type=str,
+        default=".repro-serve",
+        metavar="DIR",
+        help="durable job state: specs, journals, telemetry, results; "
+        "restarting on the same directory resumes interrupted campaigns",
+    )
+    p.add_argument(
+        "--cache",
+        type=str,
+        default=None,
+        metavar="DIR",
+        help="content-addressed trial cache shared across all tenants "
+        "(default: <state-dir>/cache)",
+    )
+    p.add_argument(
+        "--drain-grace",
+        type=float,
+        default=60.0,
+        metavar="SECONDS",
+        help="on SIGTERM/SIGINT, how long running campaigns get to commit "
+        "the current trial and checkpoint before the process exits",
+    )
+    p.add_argument(
+        "--verbose",
+        action="store_true",
+        help="log every HTTP request to stderr",
+    )
+
+
+def _cmd_serve(args) -> int:
+    import signal
+    import threading
+
+    from repro.serve import CampaignServer, CampaignService, TokenAuth
+
+    try:
+        host, port = _parse_hostport(args.listen)
+    except ValueError as exc:
+        print(f"repro serve: {exc}", file=sys.stderr)
+        return 2
+    tokens = list(args.token or [])
+    env_token = os.environ.get("REPRO_SERVE_TOKEN")
+    if env_token:
+        tokens.append(env_token)
+    service = CampaignService(
+        args.state_dir,
+        auth=TokenAuth(tokens),
+        max_concurrent=args.max_concurrent,
+        cache_dir=args.cache,
+    )
+    server = CampaignServer(service, host, port, verbose=args.verbose)
+    stop = threading.Event()
+    signal.signal(signal.SIGTERM, lambda *_: stop.set())
+    signal.signal(signal.SIGINT, lambda *_: stop.set())
+    resumed = server.start()
+    bound_host, bound_port = server.address
+    mode = f"{len(tokens)} tenant token(s)" if tokens else "open mode (no tokens)"
+    print(
+        f"repro serve listening on http://{bound_host}:{bound_port} — "
+        f"{mode}, {args.max_concurrent} concurrent slot(s), "
+        f"state in {args.state_dir}",
+        flush=True,
+    )
+    if resumed:
+        print(f"re-enqueued {resumed} unfinished campaign(s) from {args.state_dir}",
+              flush=True)
+    while not stop.wait(0.5):
+        pass
+    print("draining: finishing or checkpointing running campaigns…", flush=True)
+    server.drain(grace_s=args.drain_grace)
+    print("drained; interrupted campaigns resume on next start", flush=True)
+    return 0
 
 
 def _add_secret_argument(p) -> None:
@@ -773,6 +887,7 @@ def main(argv: Sequence[str] | None = None) -> int:
     subparsers = parser.add_subparsers(dest="command", required=True)
     _add_campaign_parser(subparsers)
     _add_worker_parser(subparsers)
+    _add_serve_parser(subparsers)
     _add_analyze_parser(subparsers)
     _add_episode_parser(subparsers)
     _add_calibration_parser(subparsers)
@@ -783,6 +898,7 @@ def main(argv: Sequence[str] | None = None) -> int:
     handler = {
         "campaign": _cmd_campaign,
         "worker": _cmd_worker,
+        "serve": _cmd_serve,
         "analyze": _cmd_analyze,
         "episode": _cmd_episode,
         "calibration": _cmd_calibration,

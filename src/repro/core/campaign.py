@@ -229,8 +229,22 @@ class Campaign:
         self.cache = cache
         self._pass_telemetry = _accepts_telemetry(case_study)
 
-    def run(self, progress: ProgressCallback | None = None) -> DecisionReport:
-        """Execute every trial the explorer proposes and rank the outcome."""
+    def run(
+        self,
+        progress: ProgressCallback | None = None,
+        stop: Callable[[], bool] | None = None,
+    ) -> DecisionReport:
+        """Execute every trial the explorer proposes and rank the outcome.
+
+        ``stop`` (optional) is a cancellation predicate polled between
+        scheduling rounds — when it returns True the campaign stops
+        asking, drops in-flight work, and returns a partial report with
+        ``meta["interrupted"] = True``. Every *committed* trial is
+        already in the journal (when one is configured), so re-running
+        with a resumed journal replays the committed prefix and
+        re-evaluates only what was dropped. This is the graceful-drain
+        hook :mod:`repro.serve` uses on SIGTERM.
+        """
         table = ResultsTable(self.metrics, self.space)
         telem = self.telemetry
         executor = self._make_executor()
@@ -262,9 +276,13 @@ class Campaign:
         ready: dict[int, TrialOutcome | _Replay] = {}
         retry_due: dict[int, float] = {}  # seq -> monotonic resubmit time
         cache_keys: dict[int, str] = {}  # seq -> content address (cache misses)
+        interrupted = False
         try:
             with executor:
                 while True:
+                    if stop is not None and stop():
+                        interrupted = True
+                        break
                     # fill the window: never run ahead of the committed
                     # prefix by more than max_workers proposals
                     while not exhausted and next_seq - commit_seq < executor.max_workers:
@@ -388,6 +406,8 @@ class Campaign:
         }
         if n_retried:
             meta["n_retried"] = n_retried
+        if interrupted:
+            meta["interrupted"] = True
         if self.journal is not None:
             meta["n_replayed"] = self.journal.n_replayed
             if self.journal.topology_warning is not None:

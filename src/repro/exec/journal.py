@@ -85,6 +85,18 @@ class CampaignJournal:
     def resume(cls, path: str | os.PathLike) -> "CampaignJournal":
         return cls(path, resume=True)
 
+    @classmethod
+    def resume_or_fresh(cls, path: str | os.PathLike) -> "CampaignJournal":
+        """Resume when a journal exists at ``path``, else start fresh.
+
+        Long-running services (``repro serve``) re-enqueue interrupted
+        jobs on restart without knowing whether the previous process got
+        far enough to journal anything — this constructor makes that
+        idempotent: first run writes a fresh journal, every restart
+        replays whatever the last one committed.
+        """
+        return cls(path, resume=os.path.exists(path))
+
     # -------------------------------------------------------------- loading
     def _load(self) -> None:
         first = True

@@ -133,6 +133,23 @@ class MeterRegistry:
             self.histogram(name).values.extend(hist.values)
         return self
 
+    def merge_snapshot(self, snapshot: dict[str, Any]) -> "MeterRegistry":
+        """Fold a serialized :meth:`snapshot` dict into this registry.
+
+        Counters add and gauges overwrite, exactly as live ``merge``
+        does; histograms are *skipped* — a snapshot keeps summary
+        percentiles, not raw observations, so pooling is impossible and
+        silently re-observing the mean would fabricate data. Used by
+        long-lived processes (``repro serve``) to fold meters persisted
+        by a previous incarnation into their live aggregate.
+        """
+        for name, value in snapshot.get("counters", {}).items():
+            self.counter(name).inc(float(value))
+        for name, value in snapshot.get("gauges", {}).items():
+            if value is not None:
+                self.gauge(name).set(float(value))
+        return self
+
 
 class _NullMeter:
     """Accepts any update, records nothing."""

@@ -1,0 +1,34 @@
+"""Campaign-as-a-service: the ``repro serve`` HTTP API.
+
+Submitting, observing and comparing campaigns without shelling into the
+coordinator host — the ROADMAP's "campaign-as-a-service" item. The
+package is stdlib-only (``http.server`` + threads) and reuses the whole
+existing stack: campaigns run on :mod:`repro.exec` executors, checkpoint
+to :class:`~repro.exec.CampaignJournal` files (drain/restart resumes
+them), share one content-addressed :class:`~repro.exec.TrialCache`
+across tenants, and stream per-campaign telemetry through
+:mod:`repro.obs`.
+
+See ``docs/architecture.md`` ("Campaign service") for the endpoint
+table, the auth model and the trusted-network caveat.
+"""
+
+from .auth import OPEN_TENANT, TokenAuth, tenant_label
+from .dashboard import DASHBOARD_HTML
+from .queue import JOB_STATES, TERMINAL_STATES, Job, JobQueue
+from .server import CampaignServer, CampaignService, SpecError, validate_spec
+
+__all__ = [
+    "TokenAuth",
+    "OPEN_TENANT",
+    "tenant_label",
+    "Job",
+    "JobQueue",
+    "JOB_STATES",
+    "TERMINAL_STATES",
+    "SpecError",
+    "validate_spec",
+    "CampaignService",
+    "CampaignServer",
+    "DASHBOARD_HTML",
+]

@@ -1,0 +1,118 @@
+"""The single-file HTML dashboard served at ``/``.
+
+Pure static markup + vanilla JS: it polls ``/healthz`` and
+``/campaigns`` every two seconds and renders job status, progress bars
+and, for completed campaigns, the Pareto front ids. The bearer token is
+taken from a form field and kept in ``localStorage`` — it is sent only
+in the ``Authorization`` header, never in URLs (which would leak into
+server logs). No external assets: the page must render on an air-gapped
+cluster head node.
+"""
+
+from __future__ import annotations
+
+__all__ = ["DASHBOARD_HTML"]
+
+DASHBOARD_HTML = """<!doctype html>
+<html lang="en">
+<head>
+<meta charset="utf-8">
+<title>repro serve — campaigns</title>
+<style>
+  body { font-family: ui-monospace, Menlo, Consolas, monospace;
+         margin: 2rem; background: #11151a; color: #d8dee9; }
+  h1 { font-size: 1.2rem; }
+  table { border-collapse: collapse; width: 100%; margin-top: 1rem; }
+  th, td { text-align: left; padding: .35rem .6rem;
+           border-bottom: 1px solid #2b3340; font-size: .85rem; }
+  th { color: #8fa1b3; font-weight: normal; }
+  .bar { background: #2b3340; height: .6rem; width: 10rem; border-radius: 3px; }
+  .bar > div { background: #7aa2f7; height: 100%; border-radius: 3px; }
+  .state-completed { color: #9ece6a; }
+  .state-running { color: #7aa2f7; }
+  .state-failed { color: #f7768e; }
+  .state-interrupted { color: #e0af68; }
+  .state-queued { color: #8fa1b3; }
+  #health { color: #8fa1b3; font-size: .85rem; margin: .5rem 0; }
+  input { background: #1b222c; color: #d8dee9; border: 1px solid #2b3340;
+          padding: .3rem .5rem; width: 22rem; }
+  .muted { color: #566273; }
+</style>
+</head>
+<body>
+<h1>repro serve — campaign dashboard</h1>
+<div>
+  token: <input id="token" type="password" placeholder="bearer token (empty for open mode)">
+</div>
+<div id="health">connecting…</div>
+<table>
+  <thead><tr>
+    <th>id</th><th>name</th><th>state</th><th>progress</th>
+    <th>trials</th><th>fingerprint</th><th>fronts</th>
+  </tr></thead>
+  <tbody id="jobs"><tr><td colspan="7" class="muted">no campaigns yet</td></tr></tbody>
+</table>
+<script>
+"use strict";
+const tokenInput = document.getElementById("token");
+tokenInput.value = localStorage.getItem("repro-serve-token") || "";
+tokenInput.addEventListener("change", () => {
+  localStorage.setItem("repro-serve-token", tokenInput.value);
+});
+function headers() {
+  const t = tokenInput.value.trim();
+  return t ? { "Authorization": "Bearer " + t } : {};
+}
+const fronts = {};  // job id -> rendered front text
+async function fetchFronts(id) {
+  try {
+    const r = await fetch("/campaigns/" + id + "/pareto", { headers: headers() });
+    if (!r.ok) return;
+    const p = await r.json();
+    fronts[id] = Object.entries(p.fronts || {})
+      .map(([name, ids]) => name + ":[" + ids.join(",") + "]").join(" ");
+  } catch (e) { /* next poll retries */ }
+}
+function row(job) {
+  const done = job.n_trials_done || 0;
+  const total = job.n_trials_expected || 0;
+  const pct = total ? Math.round(100 * done / total) : 0;
+  if (job.state === "completed" && !(job.id in fronts)) fetchFronts(job.id);
+  return "<tr>" +
+    "<td>" + job.id + "</td>" +
+    "<td>" + (job.name || "<span class=muted>—</span>") + "</td>" +
+    "<td class='state-" + job.state + "'>" + job.state + "</td>" +
+    "<td><div class=bar><div style='width:" + pct + "%'></div></div></td>" +
+    "<td>" + done + (total ? " / " + total : "") + "</td>" +
+    "<td class=muted>" + (job.fingerprint ? job.fingerprint.slice(0, 12) : "") + "</td>" +
+    "<td class=muted>" + (fronts[job.id] || "") + "</td>" +
+    "</tr>";
+}
+async function poll() {
+  try {
+    const h = await (await fetch("/healthz")).json();
+    document.getElementById("health").textContent =
+      "status " + h.status + " · up " + Math.round(h.uptime_s) + "s · " +
+      "slots " + h.max_concurrent + " · queued " + (h.queue.queued || 0) +
+      " · running " + (h.queue.running || 0) +
+      (h.auth ? " · auth on" : " · open mode");
+    const r = await fetch("/campaigns", { headers: headers() });
+    const body = document.getElementById("jobs");
+    if (r.status === 401) {
+      body.innerHTML = "<tr><td colspan=7 class=muted>unauthorized — set the token above</td></tr>";
+    } else if (r.ok) {
+      const jobs = (await r.json()).campaigns;
+      body.innerHTML = jobs.length
+        ? jobs.map(row).join("")
+        : "<tr><td colspan=7 class=muted>no campaigns yet</td></tr>";
+    }
+  } catch (e) {
+    document.getElementById("health").textContent = "server unreachable: " + e;
+  }
+}
+poll();
+setInterval(poll, 2000);
+</script>
+</body>
+</html>
+"""

@@ -1,0 +1,24 @@
+"""RPR009 bad fixture: request-thread code that sleeps or parks forever."""
+
+import threading
+import time
+
+
+def poll_until_done(job):
+    while not job.terminal:
+        time.sleep(0.5)  # finding: sleep in the serve package
+    return job.snapshot()
+
+
+def wait_for_completion(job):
+    job.done_event.wait()  # finding: no timeout — parks until completion
+    return job.result
+
+
+def join_runner(thread):
+    thread.join()  # finding: no timeout — blocks on the runner thread
+
+
+def wait_disarmed(cond: threading.Condition):
+    with cond:
+        cond.wait(timeout=None)  # finding: timeout=None is no deadline at all

@@ -1,0 +1,32 @@
+"""RPR009 good fixture: bounded waits that re-check terminal/drain state."""
+
+import threading
+
+
+def stream_rows(job, send):
+    sent = 0
+    while True:
+        rows = job.trials_after(sent, timeout=0.5)  # bounded: re-checks below
+        for row in rows:
+            send(row)
+        sent += len(rows)
+        if job.terminal and job.n_trials_done <= sent:
+            return sent
+
+
+def wait_for_stop(stop: threading.Event) -> None:
+    while not stop.wait(0.5):  # positional timeout: bounded park
+        pass
+
+
+def join_with_grace(thread: threading.Thread) -> None:
+    thread.join(timeout=5.0)
+
+
+def bounded_cond(cond: threading.Condition) -> None:
+    with cond:
+        cond.wait(timeout=0.2)
+
+
+def string_join(parts: list[str]) -> str:
+    return ",".join(parts)  # str.join is not a thread park

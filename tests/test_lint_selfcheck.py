@@ -50,6 +50,7 @@ BAD_EXPECTATIONS = [
     ("exec/rpr000_bad.py", "RPR000", 1),
     ("net/rpr007_bad.py", "RPR007", 5),
     ("net/rpr008_bad.py", "RPR008", 3),
+    ("serve/rpr009_bad.py", "RPR009", 4),
 ]
 
 
@@ -72,6 +73,7 @@ def test_rule_fires_on_bad_fixture(relative, rule_id, n_expected):
         "exec/rpr005_good.py",
         "net/rpr007_good.py",
         "net/rpr008_good.py",
+        "serve/rpr009_good.py",
         "other/scoped_silent.py",
     ],
 )
