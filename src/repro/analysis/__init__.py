@@ -8,32 +8,64 @@ before anything runs:
 
 * :mod:`repro.analysis.engine` — an AST-based lint engine with per-rule
   visitors, ``# repro-lint: disable=RULE -- reason`` suppressions and
-  ``file:line`` reporting;
+  ``file:line`` reporting; the run is two-pass, building a shared
+  whole-program model for the model rules;
+* :mod:`repro.analysis.model` — the project-wide symbol table, call
+  graph and thread/lock model behind the whole-program rules;
 * :mod:`repro.analysis.rules` — the rule library: determinism hazards
-  (``RPR001``–``RPR004``), hygiene (``RPR005``) and cross-file contract
-  checks (``RPR101``–``RPR106``) that catch drift between dataclasses
-  and their serialized identity headers;
-* :mod:`repro.analysis.report` — human-readable and JSON reporters.
+  (``RPR001``–``RPR004``, enforced both per-file and interprocedurally
+  via call-graph taint), hygiene (``RPR005``–``RPR009``), whole-program
+  concurrency (``RPR201``–``RPR205``) and cross-file contract checks
+  (``RPR101``–``RPR106``) that catch drift between dataclasses and
+  their serialized identity headers;
+* :mod:`repro.analysis.report` — human-readable and JSON reporters;
+  :mod:`repro.analysis.sarif` — SARIF 2.1.0 for code scanning;
+  :mod:`repro.analysis.baseline` — the findings ratchet behind
+  ``repro lint --baseline FILE --fail-on-new``.
 
 Entry points: ``repro lint [PATHS]`` on the command line, the
 ``lint-self`` CI job, and :mod:`tests.test_lint_selfcheck` which keeps
 the rules themselves regression-tested against a fixtures tree.
 """
 
-from .engine import FileContext, Finding, LintEngine, LintReport, Rule
+from .baseline import diff_against_baseline, load_baseline, write_baseline
+from .engine import (
+    FileContext,
+    Finding,
+    LintEngine,
+    LintReport,
+    ModelRuleLike,
+    Rule,
+)
+from .model import ProjectModel
 from .report import render_json, render_text
-from .rules import ProjectRule, default_project_rules, default_rules, rule_table
+from .rules import (
+    ProjectRule,
+    default_model_rules,
+    default_project_rules,
+    default_rules,
+    rule_table,
+)
+from .sarif import render_sarif, sarif_payload
 
 __all__ = [
     "FileContext",
     "Finding",
     "LintEngine",
     "LintReport",
+    "ModelRuleLike",
+    "ProjectModel",
     "ProjectRule",
     "Rule",
+    "default_model_rules",
     "default_project_rules",
     "default_rules",
+    "diff_against_baseline",
+    "load_baseline",
     "render_json",
+    "render_sarif",
     "render_text",
     "rule_table",
+    "sarif_payload",
+    "write_baseline",
 ]

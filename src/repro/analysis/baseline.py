@@ -1,0 +1,88 @@
+"""The findings ratchet: a stable baseline file and a fail-on-new diff.
+
+A baseline records every *active* finding as a ``(rule, path, message)``
+identity with a count — deliberately excluding line numbers, so
+unrelated edits that shift code around do not churn the baseline, while
+a genuinely new finding (or one more instance of a known one) trips the
+ratchet.  ``repro lint --baseline FILE --fail-on-new`` fails CI only on
+findings that exceed the committed counts; legacy findings burn down by
+re-writing the baseline with ``--write-baseline``.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any
+
+from .engine import Finding, LintReport
+
+__all__ = [
+    "BASELINE_FORMAT_VERSION",
+    "baseline_payload",
+    "diff_against_baseline",
+    "load_baseline",
+    "write_baseline",
+]
+
+BASELINE_FORMAT_VERSION = 1
+
+
+def _identity(finding: Finding) -> tuple[str, str, str]:
+    return (finding.rule, finding.path, finding.message)
+
+
+def baseline_payload(report: LintReport) -> dict[str, Any]:
+    """Stable-ordered baseline dict for the report's active findings."""
+    counts: dict[tuple[str, str, str], int] = {}
+    for finding in report.active():
+        counts[_identity(finding)] = counts.get(_identity(finding), 0) + 1
+    entries = [
+        {"rule": key[0], "path": key[1], "message": key[2], "count": counts[key]}
+        for key in sorted(counts)
+    ]
+    return {
+        "format_version": BASELINE_FORMAT_VERSION,
+        "tool": "repro-lint",
+        "entries": entries,
+    }
+
+
+def write_baseline(report: LintReport, path: str | Path) -> None:
+    Path(path).write_text(
+        json.dumps(baseline_payload(report), indent=2, sort_keys=True) + "\n",
+        encoding="utf-8",
+    )
+
+
+def load_baseline(path: str | Path) -> dict[tuple[str, str, str], int]:
+    """Baseline identities -> allowed counts. Raises on missing/invalid."""
+    payload = json.loads(Path(path).read_text(encoding="utf-8"))
+    if payload.get("format_version") != BASELINE_FORMAT_VERSION:
+        raise ValueError(
+            f"unsupported baseline format_version: {payload.get('format_version')!r}"
+        )
+    allowed: dict[tuple[str, str, str], int] = {}
+    for entry in payload.get("entries", []):
+        key = (entry["rule"], entry["path"], entry["message"])
+        allowed[key] = int(entry.get("count", 1))
+    return allowed
+
+
+def diff_against_baseline(
+    report: LintReport, allowed: dict[tuple[str, str, str], int]
+) -> list[Finding]:
+    """Active findings beyond the baseline's counts, in sort order.
+
+    When N identical findings face a baseline count of M < N, the last
+    N-M (by location) are reported as new.
+    """
+    remaining = dict(allowed)
+    new: list[Finding] = []
+    for finding in sorted(report.active(), key=Finding.sort_key):
+        key = _identity(finding)
+        if remaining.get(key, 0) > 0:
+            remaining[key] -= 1
+        else:
+            new.append(finding)
+    return new

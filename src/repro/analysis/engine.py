@@ -34,6 +34,8 @@ __all__ = [
     "Rule",
     "LintEngine",
     "LintReport",
+    "ModelRuleLike",
+    "ProjectRuleLike",
     "SUPPRESS_ALL",
 ]
 
@@ -46,7 +48,12 @@ RULE_BARE_SUPPRESSION = "RPR000"
 
 @dataclass(frozen=True)
 class Finding:
-    """One rule violation at a ``path:line:col`` location."""
+    """One rule violation at a ``path:line:col`` location.
+
+    ``trace`` is the call-graph witness for whole-program findings: the
+    chain of function qualnames from the sink (or thread entry) to the
+    flagged site, empty for plain per-file findings.
+    """
 
     rule: str
     path: str
@@ -55,6 +62,7 @@ class Finding:
     message: str
     suppressed: bool = False
     reason: str | None = None
+    trace: tuple[str, ...] = ()
 
     def location(self) -> str:
         return f"{self.path}:{self.line}:{self.col}"
@@ -240,19 +248,39 @@ def iter_python_files(paths: Sequence[str | os.PathLike[str]]) -> Iterator[Path]
 
 
 class LintEngine:
-    """Runs a set of rules over a tree of Python files."""
+    """Runs per-file, whole-program and contract rules over a file tree.
+
+    The run is two-pass: every file is parsed once into a
+    :class:`FileContext`, the per-file rules see each context in
+    isolation, then a project-wide model (symbol table + call graph +
+    thread/lock model, see :mod:`repro.analysis.model`) is built over
+    *all* contexts and handed to the model rules.  ``rule_filter``
+    restricts every rule family uniformly (per-file, model and contract
+    rules alike); ``RPR999`` parse failures always surface.
+    """
 
     def __init__(
         self,
         rules: Sequence[Rule] | None = None,
         project_rules: Sequence["ProjectRuleLike"] | None = None,
+        model_rules: Sequence["ModelRuleLike"] | None = None,
+        rule_filter: Iterable[str] | None = None,
     ) -> None:
         if rules is None:
             from .rules import default_rules
 
             rules = default_rules()
+        if model_rules is None:
+            from .rules import default_model_rules
+
+            model_rules = default_model_rules()
         self.rules = list(rules)
         self.project_rules = list(project_rules or [])
+        self.model_rules = list(model_rules)
+        self.rule_filter = frozenset(rule_filter) if rule_filter is not None else None
+
+    def _selected(self, rule_id: str) -> bool:
+        return self.rule_filter is None or rule_id in self.rule_filter
 
     def run(
         self,
@@ -266,25 +294,63 @@ class LintEngine:
         given, so output is stable regardless of the invocation cwd.
         """
         findings: list[Finding] = []
+        contexts: list[FileContext] = []
         n_files = 0
         for path in iter_python_files(paths):
             n_files += 1
-            findings.extend(self.check_file(path))
+            ctx, file_findings = self._parse_file(path)
+            findings.extend(file_findings)
+            if ctx is None:
+                continue
+            contexts.append(ctx)
+            for rule in self.rules:
+                if not self._selected(rule.rule_id) or not rule.applies(ctx):
+                    continue
+                for finding in rule.check(ctx):
+                    findings.append(_apply_suppression(ctx, finding))
+        model_rules = [r for r in self.model_rules if self._selected(r.rule_id)]
+        if model_rules and contexts:
+            from .model import ProjectModel
+
+            model = ProjectModel.build(contexts)
+            by_path = {ctx.path: ctx for ctx in contexts}
+            for model_rule in model_rules:
+                for finding in model_rule.check_model(model):
+                    ctx = by_path.get(finding.path)
+                    if ctx is not None:
+                        finding = _apply_suppression(ctx, finding)
+                    findings.append(finding)
         for project_rule in self.project_rules:
+            if not self._selected(project_rule.rule_id):
+                continue
             root = repo_root if repo_root is not None else _infer_repo_root(paths)
             if root is not None:
                 findings.extend(project_rule.check_project(root))
         findings.sort(key=Finding.sort_key)
-        return LintReport(findings=findings, n_files=n_files)
+        return LintReport(findings=_dedupe(findings), n_files=n_files)
 
     def check_file(self, path: str | os.PathLike[str]) -> list[Finding]:
-        """All findings (suppressed ones marked, not dropped) for one file."""
+        """Per-file findings (suppressed marked, not dropped) for one file."""
+        ctx, findings = self._parse_file(path)
+        if ctx is None:
+            return findings
+        for rule in self.rules:
+            if not self._selected(rule.rule_id) or not rule.applies(ctx):
+                continue
+            for finding in rule.check(ctx):
+                findings.append(_apply_suppression(ctx, finding))
+        return findings
+
+    def _parse_file(
+        self, path: str | os.PathLike[str]
+    ) -> tuple[FileContext | None, list[Finding]]:
+        """Parse one file into a context plus its RPR999/RPR000 findings."""
         text_path = os.fspath(path)
         try:
             source = Path(path).read_text(encoding="utf-8")
             tree = ast.parse(source, filename=text_path)
         except (OSError, SyntaxError, ValueError) as exc:
-            return [
+            return None, [
                 Finding(
                     rule="RPR999",
                     path=text_path,
@@ -301,18 +367,12 @@ class LintEngine:
             parts=PurePath(text_path).parts,
             suppressions=suppressions,
         )
-        findings = [replace(f, path=text_path) for f in bare]
-        for rule in self.rules:
-            if not rule.applies(ctx):
-                continue
-            for finding in rule.check(ctx):
-                suppression = suppressions.get(finding.line)
-                if suppression is not None and suppression.covers(finding.rule):
-                    finding = replace(
-                        finding, suppressed=True, reason=suppression.reason
-                    )
-                findings.append(finding)
-        return findings
+        findings = (
+            [replace(f, path=text_path) for f in bare]
+            if self._selected(RULE_BARE_SUPPRESSION)
+            else []
+        )
+        return ctx, findings
 
 
 def _infer_repo_root(paths: Sequence[str | os.PathLike[str]]) -> Path | None:
@@ -326,6 +386,32 @@ def _infer_repo_root(paths: Sequence[str | os.PathLike[str]]) -> Path | None:
     return None
 
 
+def _apply_suppression(ctx: FileContext, finding: Finding) -> Finding:
+    suppression = ctx.suppressions.get(finding.line)
+    if suppression is not None and suppression.covers(finding.rule):
+        return replace(finding, suppressed=True, reason=suppression.reason)
+    return finding
+
+
+def _dedupe(findings: list[Finding]) -> list[Finding]:
+    """Collapse findings sharing (rule, path, line, col).
+
+    The per-file and whole-program passes can flag the same site (the
+    taint upgrade of RPR001/RPR002 overlaps the package-scoped scan);
+    the trace-carrying finding wins, otherwise the first in sort order.
+    """
+    best: dict[tuple[str, str, int, int], Finding] = {}
+    order: list[tuple[str, str, int, int]] = []
+    for finding in findings:
+        key = (finding.rule, finding.path, finding.line, finding.col)
+        if key not in best:
+            best[key] = finding
+            order.append(key)
+        elif finding.trace and not best[key].trace:
+            best[key] = finding
+    return [best[key] for key in order]
+
+
 class ProjectRuleLike:
     """Structural type for project-level rules (see ``rules.contracts``)."""
 
@@ -335,3 +421,23 @@ class ProjectRuleLike:
 
     def check_project(self, repo_root: Path) -> Iterable[Finding]:
         raise NotImplementedError
+
+
+class ModelRuleLike:
+    """Structural type for whole-program rules (see ``rules.concurrency``).
+
+    A model rule receives the finished :class:`~repro.analysis.model.
+    ProjectModel` once per run and yields findings anchored at real file
+    locations; the engine applies suppressions afterwards.
+    """
+
+    rule_id: str = ""
+    title: str = ""
+    rationale: str = ""
+
+    def check_model(self, model: "ProjectModelLike") -> Iterable[Finding]:
+        raise NotImplementedError
+
+
+class ProjectModelLike:
+    """Forward declaration so engine needn't import the model module."""

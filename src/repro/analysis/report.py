@@ -22,6 +22,8 @@ def render_text(report: LintReport, show_suppressed: bool = False) -> str:
     lines: list[str] = []
     for finding in report.active():
         lines.append(f"{finding.location()}: {finding.rule} {finding.message}")
+        if finding.trace:
+            lines.append(f"    via {' -> '.join(finding.trace)}")
     if show_suppressed:
         for finding in report.suppressed():
             reason = finding.reason or "(no reason)"
@@ -46,6 +48,7 @@ def _finding_payload(finding: Finding) -> dict[str, Any]:
         "message": finding.message,
         "suppressed": finding.suppressed,
         "reason": finding.reason,
+        "trace": list(finding.trace),
     }
 
 

@@ -1,0 +1,116 @@
+"""SARIF 2.1.0 renderer for lint reports.
+
+One ``run`` with the full rule table in ``tool.driver.rules``; every
+finding becomes a ``result`` whose location uses 1-based lines/columns.
+Suppressed findings are emitted with an ``inSource`` suppression object
+carrying the justification, so code-scanning UIs show them as resolved
+instead of dropping them.  Whole-program findings with a call-graph
+``trace`` get a ``codeFlow`` (one thread flow, one location per hop),
+which GitHub renders as the "path" view.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any
+
+from .engine import Finding, LintReport
+from .rules import rule_table
+
+__all__ = ["render_sarif", "sarif_payload"]
+
+SARIF_VERSION = "2.1.0"
+SARIF_SCHEMA = "https://json.schemastore.org/sarif-2.1.0.json"
+TOOL_NAME = "repro-lint"
+TOOL_URI = "https://github.com/repro/repro"
+
+
+def _artifact_uri(path: str) -> str:
+    return path.replace("\\", "/")
+
+
+def _location(finding: Finding, message: str | None = None) -> dict[str, Any]:
+    location: dict[str, Any] = {
+        "physicalLocation": {
+            "artifactLocation": {"uri": _artifact_uri(finding.path)},
+            "region": {
+                "startLine": max(finding.line, 1),
+                "startColumn": finding.col + 1,
+            },
+        }
+    }
+    if message is not None:
+        location["message"] = {"text": message}
+    return location
+
+
+def _code_flow(finding: Finding) -> dict[str, Any]:
+    hops = [
+        {
+            "location": {
+                "physicalLocation": {
+                    "artifactLocation": {"uri": _artifact_uri(finding.path)},
+                    "region": {"startLine": max(finding.line, 1)},
+                },
+                "message": {"text": qualname},
+            }
+        }
+        for qualname in finding.trace
+    ]
+    return {"threadFlows": [{"locations": hops}]}
+
+
+def sarif_payload(report: LintReport) -> dict[str, Any]:
+    """The SARIF 2.1.0 dict for one lint run (stable-ordered)."""
+    rules = [
+        {
+            "id": rule_id,
+            "name": rule_id,
+            "shortDescription": {"text": title},
+            "fullDescription": {"text": rationale},
+            "defaultConfiguration": {"level": "error"},
+        }
+        for rule_id, title, rationale in sorted(rule_table())
+    ]
+    rule_index = {rule["id"]: i for i, rule in enumerate(rules)}
+    results: list[dict[str, Any]] = []
+    for finding in sorted(report.findings, key=Finding.sort_key):
+        result: dict[str, Any] = {
+            "ruleId": finding.rule,
+            "level": "error",
+            "message": {"text": finding.message},
+            "locations": [_location(finding)],
+        }
+        if finding.rule in rule_index:
+            result["ruleIndex"] = rule_index[finding.rule]
+        if finding.suppressed:
+            result["suppressions"] = [
+                {
+                    "kind": "inSource",
+                    "justification": finding.reason or "(no reason given)",
+                }
+            ]
+        if finding.trace:
+            result["codeFlows"] = [_code_flow(finding)]
+        results.append(result)
+    return {
+        "$schema": SARIF_SCHEMA,
+        "version": SARIF_VERSION,
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": TOOL_NAME,
+                        "informationUri": TOOL_URI,
+                        "rules": rules,
+                    }
+                },
+                "results": results,
+                "columnKind": "utf16CodeUnits",
+            }
+        ],
+    }
+
+
+def render_sarif(report: LintReport) -> str:
+    return json.dumps(sarif_payload(report), indent=2, sort_keys=True)

@@ -482,9 +482,12 @@ def _add_lint_parser(subparsers) -> None:
     )
     p.add_argument(
         "--format",
-        choices=["human", "json"],
+        choices=["human", "json", "sarif"],
         default="human",
-        help="findings as file:line text or a stable-ordered JSON report",
+        help=(
+            "findings as file:line text, a stable-ordered JSON report, "
+            "or SARIF 2.1.0 for code scanning"
+        ),
     )
     p.add_argument(
         "--rules",
@@ -514,6 +517,33 @@ def _add_lint_parser(subparsers) -> None:
         default=None,
         metavar="FILE",
         help="also write the JSON report to FILE (for CI artifacts)",
+    )
+    p.add_argument(
+        "--sarif",
+        type=str,
+        default=None,
+        metavar="FILE",
+        help="also write a SARIF 2.1.0 report to FILE (for code scanning)",
+    )
+    p.add_argument(
+        "--baseline",
+        type=str,
+        default=None,
+        metavar="FILE",
+        help="baseline JSON for the findings ratchet (see --fail-on-new)",
+    )
+    p.add_argument(
+        "--fail-on-new",
+        action="store_true",
+        help=(
+            "exit non-zero only for active findings not in --baseline; "
+            "known findings burn down without failing the gate"
+        ),
+    )
+    p.add_argument(
+        "--write-baseline",
+        action="store_true",
+        help="write the current active findings to --baseline and exit 0",
     )
 
 
@@ -743,13 +773,20 @@ def _cmd_faults(args) -> int:
 def _cmd_lint(args) -> int:
     from repro.analysis import (
         LintEngine,
+        default_model_rules,
         default_project_rules,
         default_rules,
         render_json,
         render_text,
         rule_table,
     )
+    from repro.analysis.baseline import (
+        diff_against_baseline,
+        load_baseline,
+        write_baseline,
+    )
     from repro.analysis.report import report_payload
+    from repro.analysis.sarif import render_sarif
 
     if args.list_rules:
         print(f"{'rule':<8} {'catches':<42} protects")
@@ -757,22 +794,42 @@ def _cmd_lint(args) -> int:
             print(f"{rule_id:<8} {title:<42} {rationale}")
         return 0
     rules = default_rules()
+    model_rules = default_model_rules()
     project_rules = [] if args.no_contracts else default_project_rules()
+    rule_filter = None
     if args.rules:
         wanted = {r.strip().upper() for r in args.rules.split(",") if r.strip()}
-        known = {r.rule_id for r in rules} | {r.rule_id for r in project_rules}
+        known = (
+            {r.rule_id for r in rules}
+            | {r.rule_id for r in model_rules}
+            | {r.rule_id for r in default_project_rules()}
+            | {"RPR000"}
+        )
         unknown = sorted(wanted - known)
         if unknown:
             print(f"repro lint: unknown rule id(s): {', '.join(unknown)}",
                   file=sys.stderr)
             return 2
-        rules = [r for r in rules if r.rule_id in wanted]
-        project_rules = [r for r in project_rules if r.rule_id in wanted]
+        rule_filter = wanted
+    if (args.fail_on_new or args.write_baseline) and not args.baseline:
+        print("repro lint: --fail-on-new/--write-baseline require --baseline FILE",
+              file=sys.stderr)
+        return 2
     missing = [p for p in args.paths if not os.path.exists(p)]
     if missing:
         print(f"repro lint: no such path(s): {', '.join(missing)}", file=sys.stderr)
         return 2
-    engine = LintEngine(rules=rules, project_rules=project_rules)
+    if args.fail_on_new and not args.write_baseline:
+        if not os.path.exists(args.baseline):
+            print(f"repro lint: no such baseline: {args.baseline} "
+                  "(create one with --write-baseline)", file=sys.stderr)
+            return 2
+    engine = LintEngine(
+        rules=rules,
+        project_rules=project_rules,
+        model_rules=model_rules,
+        rule_filter=rule_filter,
+    )
     report = engine.run(args.paths)
     if args.output:
         import json
@@ -780,10 +837,28 @@ def _cmd_lint(args) -> int:
         with open(args.output, "w", encoding="utf-8") as handle:
             json.dump(report_payload(report), handle, indent=2, sort_keys=True)
             handle.write("\n")
+    if args.sarif:
+        with open(args.sarif, "w", encoding="utf-8") as handle:
+            handle.write(render_sarif(report) + "\n")
     if args.format == "json":
         print(render_json(report))
+    elif args.format == "sarif":
+        print(render_sarif(report))
     else:
         print(render_text(report, show_suppressed=args.show_suppressed))
+    if args.write_baseline:
+        write_baseline(report, args.baseline)
+        print(f"wrote baseline with {len(report.active())} finding(s) "
+              f"to {args.baseline}")
+        return 0
+    if args.fail_on_new:
+        allowed = load_baseline(args.baseline)
+        new = diff_against_baseline(report, allowed)
+        n_known = len(report.active()) - len(new)
+        print(f"baseline: {n_known} known finding(s), {len(new)} new")
+        for finding in new:
+            print(f"  NEW {finding.location()}: {finding.rule} {finding.message}")
+        return 1 if new else 0
     return 0 if report.ok else 1
 
 

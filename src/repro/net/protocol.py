@@ -159,6 +159,7 @@ def send_frame(
             f"frame of {len(body)} bytes exceeds MAX_FRAME_BYTES ({MAX_FRAME_BYTES})"
         )
     sock.settimeout(timeout)
+    # repro-lint: disable=RPR203 -- the send lock exists precisely to serialize frame writes; settimeout above bounds the hold
     sock.sendall(_LEN.pack(len(body)) + body)
 
 

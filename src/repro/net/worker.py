@@ -427,7 +427,8 @@ class WorkerAgent:
         if outcome is None:
             outcome = self._execute(task)
             outcome.worker = self.name
-            self.n_executed += 1
+            with self._state_lock:  # racing runner slots bump this too
+                self.n_executed += 1
             key = getattr(task, "cache_key", None)
             if key and self.cache is not None:
                 try:
@@ -481,7 +482,8 @@ class WorkerAgent:
         if hit is None:
             return None
         measurements, checkpoints, duration_s = hit
-        self.n_cache_hits += 1
+        with self._state_lock:  # racing runner slots bump this too
+            self.n_cache_hits += 1
         return TrialOutcome(
             seq=task.seq,
             trial_id=task.config.trial_id,

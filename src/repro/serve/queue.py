@@ -86,8 +86,10 @@ class Job:
         with self._cond:
             self.state = state
             if state == "running" and self.started_at is None:
+                # repro-lint: disable=RPR002 -- lifecycle timestamps feed the job record shown to clients, never the fingerprint digest
                 self.started_at = time.time()
             if state in TERMINAL_STATES:
+                # repro-lint: disable=RPR002 -- lifecycle timestamps feed the job record shown to clients, never the fingerprint digest
                 self.finished_at = time.time()
             if error is not None:
                 self.error = error

@@ -1,0 +1,24 @@
+"""Known-bad: attributes written from a worker thread and the caller
+thread with no common lock — RPR201 must fire once per attribute."""
+import threading
+
+
+class Stats:
+    def __init__(self) -> None:
+        self.lock = threading.Lock()
+        self.count = 0
+        self.total = 0
+        self.worker = threading.Thread(target=self._drain, daemon=True)
+        self.worker.start()
+
+    def _drain(self) -> None:
+        for _ in range(10):
+            self.count += 1  # races add() below: no lock on either side
+            self._bump()
+
+    def _bump(self) -> None:
+        self.total += 1  # reachable from both the thread and the caller
+
+    def add(self, n: int) -> None:
+        self.count += n
+        self._bump()

@@ -1,0 +1,27 @@
+"""Good twin of rpr201_bad: every shared write holds the same lock,
+including writes inside a ``_locked``-suffix helper whose guard is
+held by its *callers* (the entry-lock fixpoint must prove this)."""
+import threading
+
+
+class Stats:
+    def __init__(self) -> None:
+        self.lock = threading.Lock()
+        self.count = 0
+        self.total = 0
+        self.worker = threading.Thread(target=self._drain, daemon=True)
+        self.worker.start()
+
+    def _drain(self) -> None:
+        for _ in range(10):
+            with self.lock:
+                self.count += 1
+                self._bump_locked()
+
+    def _bump_locked(self) -> None:
+        self.total += 1  # guarded: every caller holds self.lock
+
+    def add(self, n: int) -> None:
+        with self.lock:
+            self.count += n
+            self._bump_locked()

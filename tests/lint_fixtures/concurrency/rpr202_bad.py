@@ -1,0 +1,20 @@
+"""Known-bad: two paths acquire the same pair of locks in opposite
+order — RPR202 must report the lock-order cycle once."""
+import threading
+
+
+class Transfer:
+    def __init__(self) -> None:
+        self.alpha = threading.Lock()
+        self.beta = threading.Lock()
+        threading.Thread(target=self.credit, daemon=True).start()
+
+    def credit(self) -> None:
+        with self.alpha:
+            with self.beta:
+                self.credits = 1
+
+    def debit(self) -> None:
+        with self.beta:
+            with self.alpha:
+                self.debits = 1

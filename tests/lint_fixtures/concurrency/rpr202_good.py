@@ -1,0 +1,20 @@
+"""Good twin of rpr202_bad: both paths take alpha before beta, so the
+lock-order graph is acyclic."""
+import threading
+
+
+class Transfer:
+    def __init__(self) -> None:
+        self.alpha = threading.Lock()
+        self.beta = threading.Lock()
+        threading.Thread(target=self.credit, daemon=True).start()
+
+    def credit(self) -> None:
+        with self.alpha:
+            with self.beta:
+                self.credits = 1
+
+    def debit(self) -> None:
+        with self.alpha:
+            with self.beta:
+                self.debits = 1

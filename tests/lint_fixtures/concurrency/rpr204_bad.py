@@ -1,0 +1,17 @@
+"""Known-bad: threads spawned with no ``daemon=`` flag and no reachable
+``join()`` anywhere in their scope (RPR204, one finding per spawn)."""
+import threading
+
+
+def detach(task) -> None:
+    worker = threading.Thread(target=task)
+    worker.start()
+
+
+class Service:
+    def start(self) -> None:
+        self.loop = threading.Thread(target=self._loop)
+        self.loop.start()
+
+    def _loop(self) -> None:
+        pass

@@ -1,0 +1,21 @@
+"""Good twin of rpr204_bad: the module-level thread is joined, the
+class thread is a daemon and joined (bounded) on shutdown."""
+import threading
+
+
+def run_batch(task) -> None:
+    worker = threading.Thread(target=task)
+    worker.start()
+    worker.join()
+
+
+class Service:
+    def start(self) -> None:
+        self.loop = threading.Thread(target=self._loop, daemon=True)
+        self.loop.start()
+
+    def stop(self) -> None:
+        self.loop.join(timeout=2.0)
+
+    def _loop(self) -> None:
+        pass

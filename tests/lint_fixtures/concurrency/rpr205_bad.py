@@ -1,0 +1,26 @@
+"""Known-bad: check-then-act on shared state where the *test* runs
+outside the lock even though the writes inside are guarded (RPR205
+must fire once per check site; RPR201 stays silent — writes share a
+lock)."""
+import threading
+
+
+class Registry:
+    def __init__(self) -> None:
+        self.lock = threading.Lock()
+        self.seen: dict[str, int] = {}
+        self.hits = 0
+        threading.Thread(target=self._ingest, daemon=True).start()
+
+    def _ingest(self) -> None:
+        if "boot" not in self.seen:  # test outside the lock...
+            with self.lock:
+                self.seen["boot"] = 1  # ...write guarded: still a race
+        if self.hits < 100:
+            with self.lock:
+                self.hits += 1
+
+    def record(self, key: str) -> None:
+        with self.lock:
+            self.seen[key] = 1
+            self.hits += 1

@@ -1,0 +1,23 @@
+"""Good twin of rpr205_bad: the lock covers the whole check-then-act
+window, so no thread can interleave between the test and the write."""
+import threading
+
+
+class Registry:
+    def __init__(self) -> None:
+        self.lock = threading.Lock()
+        self.seen: dict[str, int] = {}
+        self.hits = 0
+        threading.Thread(target=self._ingest, daemon=True).start()
+
+    def _ingest(self) -> None:
+        with self.lock:
+            if "boot" not in self.seen:
+                self.seen["boot"] = 1
+            if self.hits < 100:
+                self.hits += 1
+
+    def record(self, key: str) -> None:
+        with self.lock:
+            self.seen[key] = 1
+            self.hits += 1

@@ -1,0 +1,8 @@
+"""The middle hop: launders nondeterminism from util into a string the
+cache key ingests, so the taint is two call hops from the sink."""
+from ..util.clock import stamp
+from ..util.entropy import jitter
+
+
+def salt() -> str:
+    return f"{stamp()}-{jitter()}"

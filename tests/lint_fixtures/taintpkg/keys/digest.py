@@ -1,0 +1,12 @@
+"""The sink: a cache key built from a hashlib digest that (two call
+hops away) ingests wall-clock and unseeded-RNG values."""
+import hashlib
+
+from ..flow.mix import salt
+
+
+def cache_key(payload: str) -> str:
+    digest = hashlib.sha256()
+    digest.update(payload.encode("utf-8"))
+    digest.update(salt().encode("utf-8"))
+    return digest.hexdigest()

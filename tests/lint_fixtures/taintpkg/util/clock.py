@@ -1,0 +1,8 @@
+"""A wall-clock helper in a package *outside* the code-hash scope —
+invisible to the per-file RPR002 scan, caught only by the
+interprocedural taint pass when a digest sink calls it."""
+import time
+
+
+def stamp() -> float:
+    return time.time()

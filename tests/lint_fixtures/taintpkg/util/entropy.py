@@ -1,0 +1,8 @@
+"""An unseeded RNG helper outside the measured packages — invisible to
+the per-file RPR001 scan, caught only by the interprocedural taint
+pass when a digest sink calls it."""
+import random
+
+
+def jitter() -> float:
+    return random.random()
